@@ -1,0 +1,318 @@
+// Package adc mines approximate denial constraints (ADCs) from
+// relational data. It is a from-scratch Go implementation of ADCMiner
+// from "Approximate Denial Constraints" (Livshits, Heidari, Ilyas,
+// Kimelfeld; VLDB 2020): a predicate-space generator, a uniform tuple
+// sampler with statistical threshold correction, a PLI-accelerated
+// evidence-set constructor, and an enumeration algorithm (ADCEnum) for
+// minimal approximate hitting sets that takes the approximation
+// semantics — which function decides how "almost satisfied" a
+// constraint is — as an input rather than hard-wiring it.
+//
+// Quick start:
+//
+//	rel, _ := adc.ReadCSVFile("people.csv", true)
+//	res, _ := adc.Mine(rel, adc.Options{Approx: "f1", Epsilon: 0.01})
+//	for _, dc := range res.DCs {
+//	    fmt.Println(dc)
+//	}
+//
+// The three built-in approximation functions follow Section 5 of the
+// paper: "f1" scores the fraction of violating tuple pairs, "f2" the
+// fraction of tuples involved in violations, and "f3" the fraction of
+// tuples a greedy repair removes (Figure 2's stand-in for the NP-hard
+// cardinality repair). Custom functions implement ApproxFunc and must
+// satisfy the validity axioms (monotonicity and indifference to
+// redundancy, Definitions 4.1–4.3); the checkers in internal/approx are
+// re-exported for property-testing them.
+package adc
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"adc/internal/approx"
+	"adc/internal/bitset"
+	"adc/internal/dataset"
+	"adc/internal/evidence"
+	"adc/internal/hitset"
+	"adc/internal/predicate"
+	"adc/internal/rank"
+	"adc/internal/sample"
+	"adc/internal/searchmc"
+)
+
+// Re-exported data types. Aliases keep the internal packages private
+// while giving users concrete constructors and methods.
+type (
+	// Relation is a typed, column-major table (a database over one
+	// relation symbol).
+	Relation = dataset.Relation
+	// Column is one typed attribute of a Relation.
+	Column = dataset.Column
+	// DC is a mined denial constraint over a concrete predicate space.
+	DC = predicate.DC
+	// DCSpec is a relation-independent denial constraint, used for
+	// golden constraints and cross-run comparison.
+	DCSpec = predicate.DCSpec
+	// Spec is a single relation-independent predicate.
+	Spec = predicate.Spec
+	// Operator is a comparison operator (=, ≠, <, ≤, >, ≥).
+	Operator = predicate.Operator
+	// PredicateOptions configures predicate-space generation (the 30%
+	// common-values rule, single-tuple and cross-column predicates).
+	PredicateOptions = predicate.Options
+	// PredicateSpace is the generated predicate space P_R.
+	PredicateSpace = predicate.Space
+	// EvidenceSet is the evidence set Evi(D) with multiplicities.
+	EvidenceSet = evidence.Set
+	// ApproxFunc is the approximation-function interface of Section 5;
+	// implement it to supply custom ADC semantics.
+	ApproxFunc = approx.Func
+)
+
+// Comparison operators, re-exported.
+const (
+	Eq  = predicate.Eq
+	Neq = predicate.Neq
+	Lt  = predicate.Lt
+	Leq = predicate.Leq
+	Gt  = predicate.Gt
+	Geq = predicate.Geq
+)
+
+// Re-exported constructors.
+var (
+	NewRelation     = dataset.NewRelation
+	NewStringColumn = dataset.NewStringColumn
+	NewIntColumn    = dataset.NewIntColumn
+	NewFloatColumn  = dataset.NewFloatColumn
+	ReadCSV         = dataset.ReadCSV
+	ReadCSVFile     = dataset.ReadCSVFile
+	ParseOperator   = predicate.ParseOperator
+	// BuildPredicateSpace generates P_R for a relation.
+	BuildPredicateSpace = predicate.Build
+	// DefaultPredicateOptions mirrors the paper's setup.
+	DefaultPredicateOptions = predicate.DefaultOptions
+	// ResolveDC binds a relation-independent DCSpec to a space.
+	ResolveDC = predicate.FromSpecs
+)
+
+// Options configures a mining run. The zero value mines valid (exact)
+// DCs with f1 on the full relation.
+type Options struct {
+	// Approx names the approximation function: "f1" (violating pairs,
+	// default), "f2" (violating tuples), or "f3" (greedy repair size).
+	// Ignored when Func is set.
+	Approx string
+	// Func overrides Approx with a custom approximation function.
+	Func ApproxFunc
+	// Epsilon is the approximation threshold ε ≥ 0; a DC is an ADC when
+	// 1 − f(D, Sϕ) ≤ ε (Definition 4.4). 0 mines valid DCs.
+	Epsilon float64
+	// SampleFraction mines from a uniform sample of this fraction of
+	// tuples (0 or ≥1 mines the full relation). Section 7.
+	SampleFraction float64
+	// Alpha, when positive and the function is f1, replaces f1 on the
+	// sample with the adjusted f1′ of Section 7.2, so that acceptance
+	// implies (w.p. ≥ 1−Alpha) the DC is an ADC of the full relation.
+	Alpha float64
+	// Algorithm selects the enumerator: "adcenum" (default), "searchmc"
+	// (the AFASTDC baseline), or "mmcs" (exact valid DCs only; requires
+	// Epsilon == 0).
+	Algorithm string
+	// Evidence selects the evidence-set builder: "fast" (default,
+	// PLI/bit-level, DCFinder-style), "parallel" (fast partitioned
+	// across GOMAXPROCS workers), or "naive" (per-pair predicate
+	// evaluation, FASTDC-style).
+	Evidence string
+	// Predicates configures the predicate space; zero value means
+	// DefaultPredicateOptions.
+	Predicates PredicateOptions
+	// MaxPredicates bounds DC length; 0 means unbounded.
+	MaxPredicates int
+	// ChooseMinIntersection switches ADCEnum's branch choice to the
+	// min-intersection rule of Murakami and Uno (Figure 10 ablation).
+	ChooseMinIntersection bool
+	// Seed drives the sampler; runs with equal seeds are reproducible.
+	Seed int64
+}
+
+// Result is the outcome of a mining run.
+type Result struct {
+	// DCs are the minimal ADCs found, in emission order.
+	DCs []DC
+	// Space is the predicate space the DCs refer to.
+	Space *PredicateSpace
+	// Evidence is the constructed evidence set.
+	Evidence *EvidenceSet
+	// SampleRows is the number of tuples actually mined.
+	SampleRows int
+	// PredicateSpaceTime, SampleTime, EvidenceTime and EnumTime break
+	// down the wall-clock cost of the four ADCMiner components
+	// (Figure 1); Total is their sum.
+	PredicateSpaceTime, SampleTime, EvidenceTime, EnumTime, Total time.Duration
+	// EnumCalls counts recursive calls of the enumerator.
+	EnumCalls int64
+	// LossEvals counts approximation-function evaluations.
+	LossEvals int64
+}
+
+// Mine runs ADCMiner (Figure 1) on the relation: generate the predicate
+// space, draw the sample, build the evidence set, and enumerate all
+// minimal ADCs w.r.t. the configured approximation function and ε.
+func Mine(rel *Relation, opts Options) (*Result, error) {
+	if rel == nil {
+		return nil, errors.New("adc: nil relation")
+	}
+	if rel.NumRows() < 2 {
+		return nil, fmt.Errorf("adc: relation %q needs at least 2 rows", rel.Name)
+	}
+	if opts.Epsilon < 0 {
+		return nil, fmt.Errorf("adc: negative epsilon %v", opts.Epsilon)
+	}
+
+	f := opts.Func
+	if f == nil {
+		name := opts.Approx
+		if name == "" {
+			name = "f1"
+		}
+		var err error
+		f, err = approx.ForName(name)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	builder, err := evidenceBuilder(opts.Evidence)
+	if err != nil {
+		return nil, err
+	}
+	algorithm := opts.Algorithm
+	if algorithm == "" {
+		algorithm = "adcenum"
+	}
+	if algorithm == "mmcs" && opts.Epsilon != 0 {
+		return nil, errors.New(`adc: algorithm "mmcs" mines valid DCs only; use Epsilon 0`)
+	}
+
+	res := &Result{SampleRows: rel.NumRows()}
+	start := time.Now()
+
+	// Component 2 (sampler) runs before the space so the 30% rule and
+	// evidence see the same tuples.
+	data := rel
+	t0 := time.Now()
+	if opts.SampleFraction > 0 && opts.SampleFraction < 1 {
+		rng := rand.New(rand.NewSource(opts.Seed))
+		data = rel.Sample(opts.SampleFraction, rng)
+		if data.NumRows() < 2 {
+			return nil, fmt.Errorf("adc: sample of %v of %d rows is too small",
+				opts.SampleFraction, rel.NumRows())
+		}
+		res.SampleRows = data.NumRows()
+		// Section 7.2: on a sample, adjust f1 by the one-sided normal
+		// margin so acceptance transfers to the full relation w.p. ≥ 1−α.
+		if opts.Alpha > 0 {
+			if _, isF1 := f.(approx.F1); isF1 {
+				f = approx.F1Adjusted{Z: sample.Z(opts.Alpha)}
+			}
+		}
+	}
+	res.SampleTime = time.Since(t0)
+
+	// Component 1: predicate space.
+	t0 = time.Now()
+	popts := opts.Predicates
+	if popts == (PredicateOptions{}) {
+		popts = predicate.DefaultOptions()
+	}
+	space := predicate.Build(data, popts)
+	res.Space = space
+	res.PredicateSpaceTime = time.Since(t0)
+
+	// Component 3: evidence set.
+	t0 = time.Now()
+	ev, err := builder.Build(space, f.NeedsVios())
+	if err != nil {
+		return nil, err
+	}
+	res.Evidence = ev
+	res.EvidenceTime = time.Since(t0)
+
+	// Component 4: enumeration.
+	t0 = time.Now()
+	collect := func(hs bitset.Bits) {
+		res.DCs = append(res.DCs, predicate.FromHittingSet(space, hs))
+	}
+	switch algorithm {
+	case "adcenum":
+		stats := hitset.EnumerateADC(ev, hitset.Options{
+			Func:                  f,
+			Epsilon:               opts.Epsilon,
+			ChooseMinIntersection: opts.ChooseMinIntersection,
+			MaxPredicates:         opts.MaxPredicates,
+		}, collect)
+		res.EnumCalls, res.LossEvals = stats.Calls, stats.LossEvals
+	case "searchmc":
+		stats := searchmc.Search(ev, searchmc.Options{
+			Func:          f,
+			Epsilon:       opts.Epsilon,
+			MaxPredicates: opts.MaxPredicates,
+		}, collect)
+		res.EnumCalls, res.LossEvals = stats.Nodes, stats.LossEvals
+	case "mmcs":
+		stats := hitset.EnumerateMinimal(ev, hitset.Options{
+			MaxPredicates: opts.MaxPredicates,
+		}, collect)
+		res.EnumCalls = stats.Calls
+	default:
+		return nil, fmt.Errorf("adc: unknown algorithm %q (want adcenum, searchmc, or mmcs)",
+			algorithm)
+	}
+	res.EnumTime = time.Since(t0)
+	res.Total = time.Since(start)
+	return res, nil
+}
+
+func evidenceBuilder(name string) (evidence.Builder, error) {
+	switch name {
+	case "", "fast":
+		return evidence.FastBuilder{}, nil
+	case "parallel":
+		return evidence.ParallelBuilder{}, nil
+	case "naive":
+		return evidence.NaiveBuilder{}, nil
+	}
+	return nil, fmt.Errorf("adc: unknown evidence builder %q (want fast, parallel, or naive)", name)
+}
+
+// Loss evaluates 1 − f(D, Sϕ) for a DC against an evidence set, using
+// the named approximation function. Convenience for scoring individual
+// constraints (for example golden DCs) outside a mining run.
+func Loss(f ApproxFunc, ev *EvidenceSet, dc DC) float64 {
+	return approx.LossOfHittingSet(f, ev, dc.HittingSet())
+}
+
+// ApproxByName returns a built-in approximation function: "f1", "f2",
+// or "f3".
+func ApproxByName(name string) (ApproxFunc, error) { return approx.ForName(name) }
+
+// DCScore is the interestingness breakdown of a ranked DC
+// (succinctness and coverage, the FASTDC measures).
+type DCScore = rank.Score
+
+// RankDCs orders mined DCs by decreasing interestingness —
+// 0.5·succinctness + 0.5·coverage, as in Chu et al. Useful for
+// surfacing the most general, best-supported constraints first.
+func RankDCs(ev *EvidenceSet, dcs []DC) []DCScore { return rank.Rank(ev, dcs) }
+
+// SampleThreshold returns ε_J of Inequality 2: the threshold to apply
+// to the violating-pair fraction p̂ observed on a sample of the given
+// size so that acceptance implies, with probability at least 1−alpha,
+// an ADC of the full relation w.r.t. eps.
+func SampleThreshold(eps, pHat float64, sampleRows int, alpha float64) float64 {
+	return sample.Threshold(eps, pHat, sampleRows, alpha)
+}

@@ -1,0 +1,235 @@
+package adc_test
+
+// Benchmark harness: one benchmark per table and figure of the paper's
+// evaluation (Section 8), each delegating to the corresponding runner in
+// internal/experiments, plus micro-benchmarks of the pipeline stages.
+//
+// Figure benchmarks run the full experiment per iteration at a reduced
+// scale (see benchRows) so `go test -bench=.` completes in minutes; to
+// regenerate the figures at larger scale with readable output, use
+//
+//	go run ./cmd/experiments -run all -rows 400
+//
+// EXPERIMENTS.md records the measured shapes against the paper's.
+
+import (
+	"io"
+	"testing"
+
+	"adc"
+	"adc/internal/approx"
+	"adc/internal/bitset"
+	"adc/internal/datagen"
+	"adc/internal/evidence"
+	"adc/internal/experiments"
+	"adc/internal/hitset"
+	"adc/internal/predicate"
+	"adc/internal/searchmc"
+)
+
+const (
+	benchRows  = 80
+	benchSeed  = 1
+	benchPreds = 3
+)
+
+// benchCfg builds a scaled-down experiment config. The lightest two
+// datasets keep per-iteration cost low; heavy runners reduce further.
+func benchCfg(rows, maxPreds int, datasets ...string) experiments.Config {
+	if len(datasets) == 0 {
+		datasets = []string{"stock", "adult"}
+	}
+	return experiments.Config{
+		Rows:          rows,
+		Seed:          benchSeed,
+		MaxPredicates: maxPreds,
+		Datasets:      datasets,
+		Out:           io.Discard,
+	}
+}
+
+func runFigure(b *testing.B, cfg experiments.Config, run func(experiments.Config) error) {
+	b.Helper()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := run(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---- One benchmark per table/figure (Section 8) -------------------------
+
+func BenchmarkTable4Datasets(b *testing.B) {
+	runFigure(b, benchCfg(benchRows, benchPreds), experiments.Table4)
+}
+
+func BenchmarkFig6EnumVsSearchMC(b *testing.B) {
+	runFigure(b, benchCfg(benchRows, benchPreds), experiments.Fig6)
+}
+
+func BenchmarkFig7TotalRuntime(b *testing.B) {
+	runFigure(b, benchCfg(benchRows, benchPreds), experiments.Fig7)
+}
+
+func BenchmarkFig8ApproxFunctions(b *testing.B) {
+	runFigure(b, benchCfg(benchRows, benchPreds), experiments.Fig8)
+}
+
+func BenchmarkFig9SampleSweep(b *testing.B) {
+	runFigure(b, benchCfg(benchRows, benchPreds), experiments.Fig9)
+}
+
+func BenchmarkFig10BranchChoice(b *testing.B) {
+	runFigure(b, benchCfg(benchRows, benchPreds, "stock", "hospital"), experiments.Fig10)
+}
+
+func BenchmarkFig11SampleAccuracy(b *testing.B) {
+	runFigure(b, benchCfg(50, 2, "stock"), experiments.Fig11)
+}
+
+func BenchmarkFig12SampleRuntime(b *testing.B) {
+	runFigure(b, benchCfg(benchRows, benchPreds), experiments.Fig12)
+}
+
+func BenchmarkFig13EpsilonGap(b *testing.B) {
+	runFigure(b, benchCfg(benchRows, benchPreds), experiments.Fig13)
+}
+
+func BenchmarkFig14GRecall(b *testing.B) {
+	runFigure(b, benchCfg(50, 2, "stock"), experiments.Fig14)
+}
+
+func BenchmarkTable5ADCvsValid(b *testing.B) {
+	runFigure(b, benchCfg(50, 2, "stock", "adult"), experiments.Table5)
+}
+
+// ---- Pipeline-stage micro-benchmarks -------------------------------------
+
+func benchDataset(b *testing.B, name string, rows int) datagen.Dataset {
+	b.Helper()
+	d, err := datagen.ByName(name, rows, benchSeed)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return d
+}
+
+func BenchmarkPredicateSpace(b *testing.B) {
+	d := benchDataset(b, "tax", 200)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		predicate.Build(d.Rel, predicate.DefaultOptions())
+	}
+}
+
+func BenchmarkEvidenceFast(b *testing.B) {
+	d := benchDataset(b, "stock", 200)
+	space := predicate.Build(d.Rel, predicate.DefaultOptions())
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := (evidence.FastBuilder{}).Build(space, false); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEvidenceParallel(b *testing.B) {
+	d := benchDataset(b, "stock", 200)
+	space := predicate.Build(d.Rel, predicate.DefaultOptions())
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := (evidence.ParallelBuilder{}).Build(space, false); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEvidenceNaive(b *testing.B) {
+	d := benchDataset(b, "stock", 200)
+	space := predicate.Build(d.Rel, predicate.DefaultOptions())
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := (evidence.NaiveBuilder{}).Build(space, false); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchEvidence(b *testing.B, withVios bool) *evidence.Set {
+	b.Helper()
+	d := benchDataset(b, "stock", 150)
+	space := predicate.Build(d.Rel, predicate.DefaultOptions())
+	ev, err := (evidence.FastBuilder{}).Build(space, withVios)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return ev
+}
+
+func BenchmarkADCEnumF1(b *testing.B) {
+	ev := benchEvidence(b, false)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		hitset.EnumerateADC(ev, hitset.Options{
+			Func: approx.F1{}, Epsilon: 0.01, MaxPredicates: benchPreds,
+		}, func(bitset.Bits) {})
+	}
+}
+
+func BenchmarkSearchMCF1(b *testing.B) {
+	ev := benchEvidence(b, false)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		searchmc.Search(ev, searchmc.Options{
+			Func: approx.F1{}, Epsilon: 0.01, MaxPredicates: benchPreds,
+		}, func(bitset.Bits) {})
+	}
+}
+
+func BenchmarkMMCSValid(b *testing.B) {
+	ev := benchEvidence(b, false)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		hitset.EnumerateMinimal(ev, hitset.Options{MaxPredicates: benchPreds},
+			func(bitset.Bits) {})
+	}
+}
+
+func BenchmarkGreedyF3Loss(b *testing.B) {
+	ev := benchEvidence(b, true)
+	uncovered := make([]int, ev.Distinct())
+	for i := range uncovered {
+		uncovered[i] = i
+	}
+	f := approx.GreedyF3{}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		f.Loss(ev, uncovered)
+	}
+}
+
+func BenchmarkMineEndToEnd(b *testing.B) {
+	d := benchDataset(b, "adult", 150)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := adc.Mine(d.Rel, adc.Options{
+			Approx: "f1", Epsilon: 0.01, MaxPredicates: benchPreds,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMineSampled(b *testing.B) {
+	d := benchDataset(b, "adult", 300)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := adc.Mine(d.Rel, adc.Options{
+			Approx: "f1", Epsilon: 0.01, MaxPredicates: benchPreds,
+			SampleFraction: 0.3, Alpha: 0.05, Seed: int64(i),
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

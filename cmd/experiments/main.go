@@ -1,0 +1,70 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	experiments -list
+//	experiments -run fig6 -rows 400
+//	experiments -run all -rows 200 -datasets stock,adult
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"adc/internal/experiments"
+)
+
+func main() {
+	var (
+		run      = flag.String("run", "all", "experiment to run (see -list), or \"all\"")
+		rows     = flag.Int("rows", 200, "rows per generated dataset")
+		seed     = flag.Int64("seed", 1, "generation and sampling seed")
+		maxPreds = flag.Int("max-preds", 4, "maximum predicates per DC")
+		datasets = flag.String("datasets", "", "comma-separated dataset subset (default: all)")
+		list     = flag.Bool("list", false, "list experiments and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, r := range experiments.All() {
+			fmt.Printf("%-8s %s\n", r.Name, r.Title)
+		}
+		return
+	}
+
+	cfg := experiments.Config{
+		Rows:          *rows,
+		Seed:          *seed,
+		MaxPredicates: *maxPreds,
+		Out:           os.Stdout,
+	}
+	if *datasets != "" {
+		cfg.Datasets = strings.Split(*datasets, ",")
+	}
+
+	var runners []experiments.Runner
+	if *run == "all" {
+		runners = experiments.All()
+	} else {
+		for _, name := range strings.Split(*run, ",") {
+			r, err := experiments.ByName(strings.TrimSpace(name))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			runners = append(runners, r)
+		}
+	}
+	for _, r := range runners {
+		fmt.Printf("== %s ==\n", r.Title)
+		start := time.Now()
+		if err := r.Run(cfg); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", r.Name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("(%s finished in %v)\n\n", r.Name, time.Since(start).Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,54 @@
+package adc
+
+import (
+	"adc/internal/datagen"
+	"adc/internal/metrics"
+)
+
+// This file re-exports the evaluation utilities: the synthetic dataset
+// generators calibrated to the paper's Table 4, the noise models of
+// Section 8.4, and the quality metrics of Section 8. They let examples
+// and downstream users reproduce the paper's experimental setup without
+// reaching into internal packages.
+
+// GeneratedDataset is a synthetic dataset together with its golden DCs
+// (the expert constraints G-recall measures against) and the size of
+// the corresponding real dataset in the paper.
+type GeneratedDataset = datagen.Dataset
+
+// NoiseKind selects the error placement model: SpreadNoise modifies
+// cells independently; SkewedNoise concentrates errors in few tuples.
+type NoiseKind = datagen.NoiseKind
+
+// Noise models (Section 8.4).
+const (
+	SpreadNoise = datagen.Spread
+	SkewedNoise = datagen.Skewed
+)
+
+var (
+	// GenerateDataset builds one of the paper's eight evaluation
+	// datasets ("tax", "stock", "hospital", "food", "airport", "adult",
+	// "flight", "voter") at the given size.
+	GenerateDataset = datagen.ByName
+	// DatasetNames lists the available generators in Table 4 order.
+	DatasetNames = datagen.Names
+	// AddNoise dirties a relation with the Section 8.4 noise model.
+	AddNoise = datagen.AddNoise
+	// RunningExample returns the 15-tuple Tax relation of Table 1.
+	RunningExample = datagen.RunningExample
+	// GRecall is the fraction of golden DCs present among mined DCs.
+	GRecall = metrics.GRecall
+	// PrecisionRecallF1 compares two canonicalized DC sets.
+	PrecisionRecallF1 = metrics.PrecisionRecallF1
+	// F1Score is the harmonic mean of precision and recall.
+	F1Score = metrics.F1
+)
+
+// DCKeys canonicalizes mined DCs for use with GRecall and
+// PrecisionRecallF1.
+func DCKeys(dcs []DC) map[string]bool { return metrics.KeySet(dcs) }
+
+// SpecKeys canonicalizes relation-independent DCs (e.g. golden
+// constraints) for use with GRecall and PrecisionRecallF1.
+func SpecKeys(specs []DCSpec) map[string]bool { return metrics.KeySet(specs) }

@@ -1,0 +1,76 @@
+// Datacleaning: recovering expert rules from dirty data (Section 8.4).
+//
+// A food-inspection dataset is dirtied two ways — errors spread across
+// cells, and errors concentrated in a few tuples — and mined for ADCs
+// at a sweep of thresholds. The output shows the paper's qualitative
+// findings: valid DCs (ε = 0) recover almost nothing; pair-counting f1
+// peaks at small thresholds; the tuple-based f2 and greedy-repair f3
+// prefer larger thresholds and shine on concentrated errors.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"adc"
+)
+
+func main() {
+	const rows = 150
+	d, err := adc.GenerateDataset("food", rows, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	golden := adc.SpecKeys(d.Golden)
+	fmt.Printf("Food dataset: %d rows, %d attributes, %d golden DCs\n",
+		d.Rel.NumRows(), d.Rel.NumColumns(), len(d.Golden))
+
+	for _, noise := range []adc.NoiseKind{adc.SpreadNoise, adc.SkewedNoise} {
+		dirty := adc.AddNoise(d.Rel, noise, 0.005, rand.New(rand.NewSource(5)))
+		fmt.Printf("\n== %v noise ==\n", noise)
+
+		valid, err := adc.Mine(dirty, adc.Options{Epsilon: 0, MaxPredicates: 3})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("eps=0 (valid DCs): G-recall %.2f over %d mined\n",
+			adc.GRecall(adc.DCKeys(valid.DCs), golden), len(valid.DCs))
+
+		fmt.Printf("%-5s %8s %8s %8s %8s\n", "func", "1e-5", "1e-3", "1e-2", "1e-1")
+		for _, fn := range []string{"f1", "f2", "f3"} {
+			fmt.Printf("%-5s", fn)
+			for _, eps := range []float64{1e-5, 1e-3, 1e-2, 1e-1} {
+				res, err := adc.Mine(dirty, adc.Options{
+					Approx:        fn,
+					Epsilon:       eps,
+					MaxPredicates: 3,
+				})
+				if err != nil {
+					log.Fatal(err)
+				}
+				fmt.Printf(" %8.2f", adc.GRecall(adc.DCKeys(res.DCs), golden))
+			}
+			fmt.Println()
+		}
+	}
+
+	// Show one concrete recovered rule: the Table 5 zip→state constraint.
+	dirty := adc.AddNoise(d.Rel, adc.SpreadNoise, 0.005, rand.New(rand.NewSource(5)))
+	res, err := adc.Mine(dirty, adc.Options{Approx: "f1", Epsilon: 1e-3, MaxPredicates: 3})
+	if err != nil {
+		log.Fatal(err)
+	}
+	want := adc.DCSpec{
+		{A: "Zip", B: "Zip", Op: adc.Eq, Cross: true},
+		{A: "State", B: "State", Op: adc.Neq, Cross: true},
+	}
+	for _, dc := range res.DCs {
+		if dc.Canonical() == want.Canonical() {
+			fmt.Printf("\nrecovered from dirty data: %s\n", dc)
+			fmt.Println("(the same zip code cannot appear in two states — Table 5's example)")
+			return
+		}
+	}
+	fmt.Println("\nzip→state constraint not recovered at this scale/seed")
+}

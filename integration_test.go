@@ -1,0 +1,135 @@
+package adc_test
+
+// Cross-dataset integration tests: mine every Table 4 dataset
+// end-to-end through the public API and check that the planted golden
+// constraints are recovered. These are the library-level acceptance
+// tests behind the Figure 14 experiments.
+
+import (
+	"math/rand"
+	"testing"
+
+	"adc"
+	"adc/internal/datagen"
+	"adc/internal/metrics"
+)
+
+func TestGoldenRecallAcrossAllDatasets(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cross-dataset mining is seconds-long; skipped with -short")
+	}
+	for _, name := range datagen.Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			d, err := datagen.ByName(name, 60, 21)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := adc.Mine(d.Rel, adc.Options{
+				Approx:        "f1",
+				Epsilon:       1e-6, // effectively exact on clean data
+				MaxPredicates: 3,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			mined := metrics.KeySet(res.DCs)
+			golden := metrics.KeySet(d.Golden)
+			g := metrics.GRecall(mined, golden)
+			// Golden DCs with more than MaxPredicates predicates cannot be
+			// found under the cap; exclude them from the expectation.
+			capped := 0
+			for _, spec := range d.Golden {
+				if len(spec) <= 3 {
+					capped++
+				}
+			}
+			minExpected := float64(capped) / float64(len(d.Golden)) * 0.7
+			if g < minExpected {
+				t.Errorf("G-recall on clean %s = %.2f, want >= %.2f (mined %d DCs)",
+					name, g, minExpected, len(res.DCs))
+			}
+			// Every golden DC that resolves must have zero violations.
+			for _, spec := range d.Golden {
+				dc, err := adc.ResolveDC(res.Space, spec)
+				if err != nil {
+					t.Errorf("%s: golden %s not in space: %v", name, spec, err)
+					continue
+				}
+				f1, _ := adc.ApproxByName("f1")
+				if l := adc.Loss(f1, res.Evidence, dc); l != 0 {
+					t.Errorf("%s: golden %s has loss %v on clean data", name, spec, l)
+				}
+			}
+		})
+	}
+}
+
+func TestMinedDCsHoldApproximatelyOnDirtyData(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipped with -short")
+	}
+	d, err := datagen.ByName("hospital", 80, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dirty := adc.AddNoise(d.Rel, adc.SpreadNoise, 0.005, rand.New(rand.NewSource(9)))
+	const eps = 1e-3
+	res, err := adc.Mine(dirty, adc.Options{Approx: "f1", Epsilon: eps, MaxPredicates: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.DCs) == 0 {
+		t.Fatal("nothing mined from dirty hospital data")
+	}
+	f1, _ := adc.ApproxByName("f1")
+	for _, dc := range res.DCs {
+		if l := adc.Loss(f1, res.Evidence, dc); l > eps+1e-12 {
+			t.Errorf("mined DC %s exceeds threshold: %v", dc, l)
+		}
+	}
+}
+
+func TestSampleMiningGuaranteeEmpirically(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipped with -short")
+	}
+	// Section 7's guarantee, checked end to end: mine a sample with the
+	// alpha-corrected threshold and verify that the overwhelming
+	// majority of accepted DCs are true ADCs of the full relation.
+	d, err := datagen.ByName("stock", 300, 33)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const eps = 0.01
+	full, err := adc.Mine(d.Rel, adc.Options{Approx: "f1", Epsilon: eps, MaxPredicates: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f1, _ := adc.ApproxByName("f1")
+	sampled, err := adc.Mine(d.Rel, adc.Options{
+		Approx: "f1", Epsilon: eps, MaxPredicates: 2,
+		SampleFraction: 0.4, Alpha: 0.05, Seed: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sampled.DCs) == 0 {
+		t.Fatal("nothing mined from sample")
+	}
+	bad := 0
+	for _, dc := range sampled.DCs {
+		// Score the sampled DC against the FULL relation's evidence.
+		fullDC, err := adc.ResolveDC(full.Space, dc.Spec())
+		if err != nil {
+			continue // predicate excluded on the full data's 30% rule
+		}
+		if adc.Loss(f1, full.Evidence, fullDC) > eps {
+			bad++
+		}
+	}
+	if frac := float64(bad) / float64(len(sampled.DCs)); frac > 0.10 {
+		t.Errorf("%.0f%% of sample-accepted DCs violate the full-data threshold (alpha was 5%%)",
+			frac*100)
+	}
+}

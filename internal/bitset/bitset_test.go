@@ -1,0 +1,192 @@
+package bitset
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestSetTestClear(t *testing.T) {
+	b := New(130)
+	for _, i := range []int{0, 1, 63, 64, 65, 127, 128, 129} {
+		if b.Test(i) {
+			t.Fatalf("bit %d set in fresh bitset", i)
+		}
+		b.Set(i)
+		if !b.Test(i) {
+			t.Fatalf("bit %d not set after Set", i)
+		}
+		b.Clear(i)
+		if b.Test(i) {
+			t.Fatalf("bit %d still set after Clear", i)
+		}
+	}
+}
+
+func TestCountEmpty(t *testing.T) {
+	b := New(200)
+	if !b.Empty() || b.Count() != 0 {
+		t.Fatal("fresh bitset not empty")
+	}
+	idx := []int{3, 77, 64, 199}
+	for _, i := range idx {
+		b.Set(i)
+	}
+	if b.Empty() {
+		t.Fatal("Empty true after Set")
+	}
+	if got := b.Count(); got != len(idx) {
+		t.Fatalf("Count = %d, want %d", got, len(idx))
+	}
+}
+
+func TestSliceRoundTrip(t *testing.T) {
+	idx := []int{0, 9, 64, 100, 191}
+	b := FromSlice(192, idx)
+	if got := b.Slice(); !reflect.DeepEqual(got, idx) {
+		t.Fatalf("Slice = %v, want %v", got, idx)
+	}
+}
+
+func TestKeyRoundTrip(t *testing.T) {
+	b := FromSlice(130, []int{1, 64, 129})
+	got := FromKey(b.Key())
+	if !b.Equal(got) {
+		t.Fatalf("FromKey(Key) = %v, want %v", got, b)
+	}
+}
+
+func TestIntersects(t *testing.T) {
+	a := FromSlice(128, []int{1, 70})
+	b := FromSlice(128, []int{2, 70})
+	c := FromSlice(128, []int{3, 90})
+	if !a.Intersects(b) {
+		t.Fatal("a should intersect b")
+	}
+	if a.Intersects(c) {
+		t.Fatal("a should not intersect c")
+	}
+	if got := a.IntersectionCount(b); got != 1 {
+		t.Fatalf("IntersectionCount = %d, want 1", got)
+	}
+	if got := a.FirstCommon(b); got != 70 {
+		t.Fatalf("FirstCommon = %d, want 70", got)
+	}
+	if got := a.FirstCommon(c); got != -1 {
+		t.Fatalf("FirstCommon = %d, want -1", got)
+	}
+}
+
+func TestBooleanOps(t *testing.T) {
+	a := FromSlice(128, []int{1, 2, 3})
+	b := FromSlice(128, []int{3, 4})
+
+	u := a.Clone()
+	u.Or(b)
+	if got := u.Slice(); !reflect.DeepEqual(got, []int{1, 2, 3, 4}) {
+		t.Fatalf("Or = %v", got)
+	}
+
+	i := a.Clone()
+	i.And(b)
+	if got := i.Slice(); !reflect.DeepEqual(got, []int{3}) {
+		t.Fatalf("And = %v", got)
+	}
+
+	d := a.Clone()
+	d.AndNot(b)
+	if got := d.Slice(); !reflect.DeepEqual(got, []int{1, 2}) {
+		t.Fatalf("AndNot = %v", got)
+	}
+
+	if !u.ContainsAll(a) || !u.ContainsAll(b) {
+		t.Fatal("union should contain both operands")
+	}
+	if a.ContainsAll(b) {
+		t.Fatal("a does not contain all of b")
+	}
+
+	d.Reset()
+	if !d.Empty() {
+		t.Fatal("Reset did not clear")
+	}
+}
+
+// randomIdx returns a sorted, deduplicated random subset of [0, n).
+func randomIdx(r *rand.Rand, n int) []int {
+	m := map[int]bool{}
+	for k := r.Intn(n); k > 0; k-- {
+		m[r.Intn(n)] = true
+	}
+	out := make([]int, 0, len(m))
+	for i := range m {
+		out = append(out, i)
+	}
+	sort.Ints(out)
+	return out
+}
+
+func TestQuickKeyEquality(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	f := func() bool {
+		const n = 200
+		x, y := randomIdx(r, n), randomIdx(r, n)
+		a, b := FromSlice(n, x), FromSlice(n, y)
+		return (a.Key() == b.Key()) == a.Equal(b) &&
+			a.Equal(b) == reflect.DeepEqual(x, y)
+	}
+	cfg := &quick.Config{MaxCount: 300}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickDeMorgan(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	f := func() bool {
+		const n = 150
+		a := FromSlice(n, randomIdx(r, n))
+		b := FromSlice(n, randomIdx(r, n))
+		// |a ∪ b| = |a| + |b| - |a ∩ b|
+		u := a.Clone()
+		u.Or(b)
+		if u.Count() != a.Count()+b.Count()-a.IntersectionCount(b) {
+			return false
+		}
+		// a \ b disjoint from b, and (a\b) ∪ (a∩b) = a
+		d := a.Clone()
+		d.AndNot(b)
+		if d.Intersects(b) && d.IntersectionCount(b) > 0 {
+			return false
+		}
+		i := a.Clone()
+		i.And(b)
+		re := d.Clone()
+		re.Or(i)
+		return re.Equal(a)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestForEachOrder(t *testing.T) {
+	idx := []int{5, 63, 64, 128}
+	b := FromSlice(129, idx)
+	var got []int
+	b.ForEach(func(i int) { got = append(got, i) })
+	if !reflect.DeepEqual(got, idx) {
+		t.Fatalf("ForEach order = %v, want %v", got, idx)
+	}
+}
+
+func TestWordsFor(t *testing.T) {
+	cases := map[int]int{0: 0, 1: 1, 64: 1, 65: 2, 128: 2, 129: 3}
+	for n, want := range cases {
+		if got := WordsFor(n); got != want {
+			t.Errorf("WordsFor(%d) = %d, want %d", n, got, want)
+		}
+	}
+}

@@ -1,0 +1,183 @@
+// Package conflict implements the conflict graph of Section 7.1: a
+// directed graph whose vertices are tuples and whose edges are ordered
+// tuple pairs violating a DC. It provides the density estimator used by
+// the sampling analysis, the "random polluter" model (each edge present
+// independently with probability p) against which the estimator's
+// unbiasedness is validated, and the greedy vertex cover the paper
+// contrasts with the exact (NP-hard) cardinality repair behind f3.
+package conflict
+
+import (
+	"math/rand"
+	"sort"
+
+	"adc/internal/predicate"
+)
+
+// Graph is a directed conflict graph over n tuples.
+type Graph struct {
+	N     int
+	Edges [][2]int
+	deg   []int // undirected participation count per vertex
+}
+
+// New builds a graph from explicit edges.
+func New(n int, edges [][2]int) *Graph {
+	g := &Graph{N: n, Edges: edges, deg: make([]int, n)}
+	for _, e := range edges {
+		g.deg[e[0]]++
+		g.deg[e[1]]++
+	}
+	return g
+}
+
+// FromDC materializes the conflict graph of a DC over its relation by
+// scanning all ordered pairs. Quadratic; intended for samples and
+// analysis, not for full mining (which works off the evidence set).
+func FromDC(dc predicate.DC) *Graph {
+	return New(dc.Space.Rel.NumRows(), dc.ViolatingPairs())
+}
+
+// Random draws a graph from the random-polluter distribution: every
+// ordered edge (i, j), i ≠ j, appears independently with probability p.
+func Random(n int, p float64, rng *rand.Rand) *Graph {
+	var edges [][2]int
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i != j && rng.Float64() < p {
+				edges = append(edges, [2]int{i, j})
+			}
+		}
+	}
+	return New(n, edges)
+}
+
+// Density returns p = |E| / (n·(n−1)), the violating fraction of
+// ordered pairs (1 − f1 of the corresponding DC).
+func (g *Graph) Density() float64 {
+	if g.N < 2 {
+		return 0
+	}
+	return float64(len(g.Edges)) / (float64(g.N) * float64(g.N-1))
+}
+
+// Degree returns the number of edges (in either direction) vertex v
+// participates in.
+func (g *Graph) Degree(v int) int { return g.deg[v] }
+
+// InvolvedVertices returns the number of vertices with degree > 0 —
+// the numerator of 1 − f2.
+func (g *Graph) InvolvedVertices() int {
+	n := 0
+	for _, d := range g.deg {
+		if d > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// InducedDensity returns the density of the subgraph induced by the
+// given sorted vertex subset — p̂ when the subset is a uniform sample.
+func (g *Graph) InducedDensity(vertices []int) float64 {
+	k := len(vertices)
+	if k < 2 {
+		return 0
+	}
+	in := make(map[int]bool, k)
+	for _, v := range vertices {
+		in[v] = true
+	}
+	edges := 0
+	for _, e := range g.Edges {
+		if in[e[0]] && in[e[1]] {
+			edges++
+		}
+	}
+	return float64(edges) / (float64(k) * float64(k-1))
+}
+
+// GreedyVertexCover runs the classic greedy heuristic: repeatedly take
+// the vertex covering the most uncovered edges. Returns the cover.
+// Removing the cover from the database satisfies the DC, so
+// len(cover)/n upper-bounds 1 − f3. (The exact minimum is NP-hard for
+// DCs; Figure 2's algorithm avoids even materializing the edges — this
+// explicit version exists as the reference for tests.)
+func (g *Graph) GreedyVertexCover() []int {
+	covered := make([]bool, len(g.Edges))
+	remaining := len(g.Edges)
+	adj := make([][]int, g.N)
+	for idx, e := range g.Edges {
+		adj[e[0]] = append(adj[e[0]], idx)
+		if e[1] != e[0] {
+			adj[e[1]] = append(adj[e[1]], idx)
+		}
+	}
+	var cover []int
+	for remaining > 0 {
+		best, bestCnt := -1, 0
+		for v := 0; v < g.N; v++ {
+			cnt := 0
+			for _, idx := range adj[v] {
+				if !covered[idx] {
+					cnt++
+				}
+			}
+			if cnt > bestCnt {
+				best, bestCnt = v, cnt
+			}
+		}
+		if best < 0 {
+			break
+		}
+		for _, idx := range adj[best] {
+			if !covered[idx] {
+				covered[idx] = true
+				remaining--
+			}
+		}
+		cover = append(cover, best)
+	}
+	sort.Ints(cover)
+	return cover
+}
+
+// MinVertexCoverSize computes the exact minimum vertex cover size by
+// exhaustive search. Exponential; for tests on tiny graphs only.
+func (g *Graph) MinVertexCoverSize() int {
+	for k := 0; k <= g.N; k++ {
+		if g.hasCoverOfSize(k, 0, make([]bool, g.N)) {
+			return k
+		}
+	}
+	return g.N
+}
+
+func (g *Graph) hasCoverOfSize(k, from int, chosen []bool) bool {
+	uncov := -1
+	for idx, e := range g.Edges {
+		if !chosen[e[0]] && !chosen[e[1]] {
+			uncov = idx
+			break
+		}
+	}
+	if uncov == -1 {
+		return true
+	}
+	if k == 0 {
+		return false
+	}
+	e := g.Edges[uncov]
+	for _, v := range []int{e[0], e[1]} {
+		if chosen[v] {
+			continue
+		}
+		chosen[v] = true
+		if g.hasCoverOfSize(k-1, from, chosen) {
+			chosen[v] = false
+			return true
+		}
+		chosen[v] = false
+	}
+	return false
+}

@@ -1,0 +1,145 @@
+package conflict_test
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"adc/internal/conflict"
+	"adc/internal/datagen"
+	"adc/internal/predicate"
+	"adc/internal/sample"
+)
+
+func phi2Graph(t *testing.T) *conflict.Graph {
+	t.Helper()
+	rel := datagen.RunningExample()
+	space := predicate.Build(rel, predicate.DefaultOptions())
+	dc, err := predicate.FromSpecs(space, datagen.Phi2())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return conflict.FromDC(dc)
+}
+
+func TestFromDCOnRunningExample(t *testing.T) {
+	g := phi2Graph(t)
+	if len(g.Edges) != 16 {
+		t.Fatalf("edges = %d, want 16", len(g.Edges))
+	}
+	if got, want := g.Density(), 16.0/210.0; math.Abs(got-want) > 1e-15 {
+		t.Errorf("density = %v, want %v", got, want)
+	}
+	// t15 (index 14) participates in all 16 violations.
+	if g.Degree(14) != 16 {
+		t.Errorf("degree(t15) = %d, want 16", g.Degree(14))
+	}
+	// ϕ2 involves t15 plus t6..t13: 9 vertices.
+	if g.InvolvedVertices() != 9 {
+		t.Errorf("involved = %d, want 9", g.InvolvedVertices())
+	}
+}
+
+func TestGreedyVertexCoverPhi2(t *testing.T) {
+	g := phi2Graph(t)
+	cover := g.GreedyVertexCover()
+	if len(cover) != 1 || cover[0] != 14 {
+		t.Fatalf("greedy cover = %v, want [14] (t15 alone)", cover)
+	}
+	if g.MinVertexCoverSize() != 1 {
+		t.Errorf("exact min cover = %d, want 1", g.MinVertexCoverSize())
+	}
+}
+
+func TestGreedyCoverIsCover(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 40; trial++ {
+		g := conflict.Random(8, 0.15, rng)
+		cover := g.GreedyVertexCover()
+		in := map[int]bool{}
+		for _, v := range cover {
+			in[v] = true
+		}
+		for _, e := range g.Edges {
+			if !in[e[0]] && !in[e[1]] {
+				t.Fatalf("edge %v uncovered by %v", e, cover)
+			}
+		}
+		// Sanity: greedy never beats the exact optimum.
+		if opt := g.MinVertexCoverSize(); len(cover) < opt {
+			t.Fatalf("greedy %d below optimum %d", len(cover), opt)
+		}
+	}
+}
+
+// TestEstimatorUnbiased validates Section 7.1: over random induced
+// subsamples of random-polluter graphs, the mean of p̂ approaches p.
+func TestEstimatorUnbiased(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	const n, p = 60, 0.08
+	g := conflict.Random(n, p, rng)
+	truth := g.Density()
+	const trials = 400
+	var sum float64
+	for trial := 0; trial < trials; trial++ {
+		rows := rng.Perm(n)[:24]
+		sort.Ints(rows)
+		sum += g.InducedDensity(rows)
+	}
+	mean := sum / trials
+	if math.Abs(mean-truth) > 0.01 {
+		t.Errorf("mean p̂ = %v, true p = %v (estimator bias too large)", mean, truth)
+	}
+}
+
+// TestChebyshevHoldsEmpirically draws many samples and checks the
+// deviation probability is within the paper's (loose) bound.
+func TestChebyshevHoldsEmpirically(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	const n, p, k = 50, 0.1, 20
+	g := conflict.Random(n, p, rng)
+	truth := g.Density()
+	const trials = 300
+	a := 0.08
+	exceed := 0
+	for trial := 0; trial < trials; trial++ {
+		rows := rng.Perm(n)[:k]
+		sort.Ints(rows)
+		if math.Abs(g.InducedDensity(rows)-truth) > a {
+			exceed++
+		}
+	}
+	bound := sample.ChebyshevBound(truth, k, a)
+	if got := float64(exceed) / trials; got > bound+0.05 {
+		t.Errorf("empirical deviation rate %v exceeds Chebyshev bound %v", got, bound)
+	}
+}
+
+func TestInducedDensityDegenerate(t *testing.T) {
+	g := conflict.New(3, [][2]int{{0, 1}})
+	if g.InducedDensity([]int{0}) != 0 {
+		t.Error("single-vertex induced density should be 0")
+	}
+	if got := g.InducedDensity([]int{0, 1}); got != 0.5 {
+		t.Errorf("induced density = %v, want 0.5", got)
+	}
+}
+
+func TestRandomGraphDensityConcentrates(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	g := conflict.Random(120, 0.05, rng)
+	if d := g.Density(); math.Abs(d-0.05) > 0.01 {
+		t.Errorf("random polluter density = %v, want ≈ 0.05", d)
+	}
+}
+
+func TestEmptyGraph(t *testing.T) {
+	g := conflict.New(1, nil)
+	if g.Density() != 0 || g.InvolvedVertices() != 0 {
+		t.Error("empty graph invariants broken")
+	}
+	if cover := g.GreedyVertexCover(); len(cover) != 0 {
+		t.Errorf("cover of empty graph = %v", cover)
+	}
+}

@@ -1,0 +1,261 @@
+package datagen_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"adc/internal/datagen"
+	"adc/internal/dataset"
+	"adc/internal/predicate"
+)
+
+// Table 4 shape: attributes and golden-DC counts per dataset.
+var table4 = map[string]struct {
+	attrs, golden, paperRows int
+}{
+	"tax":      {15, 9, 1_000_000},
+	"stock":    {7, 6, 123_000},
+	"hospital": {19, 7, 115_000},
+	"food":     {17, 10, 200_000},
+	"airport":  {12, 9, 55_000},
+	"adult":    {15, 3, 32_000},
+	"flight":   {20, 13, 582_000},
+	"voter":    {25, 12, 950_000},
+}
+
+func TestTable4Shapes(t *testing.T) {
+	for _, name := range datagen.Names() {
+		d, err := datagen.ByName(name, 150, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := table4[name]
+		if got := d.Rel.NumColumns(); got != want.attrs {
+			t.Errorf("%s: %d attributes, want %d", name, got, want.attrs)
+		}
+		if got := len(d.Golden); got != want.golden {
+			t.Errorf("%s: %d golden DCs, want %d", name, got, want.golden)
+		}
+		if d.PaperRows != want.paperRows {
+			t.Errorf("%s: PaperRows = %d, want %d", name, d.PaperRows, want.paperRows)
+		}
+		if d.Rel.NumRows() != 150 {
+			t.Errorf("%s: rows = %d, want 150", name, d.Rel.NumRows())
+		}
+	}
+}
+
+// TestGoldenDCsResolveAndHold is the central generator invariant: every
+// golden DC must exist in the predicate space of its dataset (the 30%
+// rule must not exclude it) and must hold exactly on clean data.
+func TestGoldenDCsResolveAndHold(t *testing.T) {
+	for _, rows := range []int{60, 120} {
+		for _, name := range datagen.Names() {
+			d, err := datagen.ByName(name, rows, 7)
+			if err != nil {
+				t.Fatal(err)
+			}
+			space := predicate.Build(d.Rel, predicate.DefaultOptions())
+			for gi, spec := range d.Golden {
+				dc, err := predicate.FromSpecs(space, spec)
+				if err != nil {
+					t.Errorf("%s@%d golden #%d (%s): %v", name, rows, gi, spec, err)
+					continue
+				}
+				if v := dc.CountViolations(); v != 0 {
+					t.Errorf("%s@%d golden #%d (%s): %d violations on clean data",
+						name, rows, gi, spec, v)
+				}
+			}
+		}
+	}
+}
+
+func TestGoldenDCsAreDistinct(t *testing.T) {
+	for _, name := range datagen.Names() {
+		d, _ := datagen.ByName(name, 60, 3)
+		seen := map[string]bool{}
+		for _, g := range d.Golden {
+			k := g.Canonical()
+			if seen[k] {
+				t.Errorf("%s: duplicate golden DC %s", name, g)
+			}
+			seen[k] = true
+		}
+	}
+}
+
+func TestDeterministicGeneration(t *testing.T) {
+	a, _ := datagen.ByName("tax", 80, 42)
+	b, _ := datagen.ByName("tax", 80, 42)
+	for i := 0; i < 80; i++ {
+		if a.Rel.Row(i) != b.Rel.Row(i) {
+			t.Fatalf("row %d differs across same-seed runs", i)
+		}
+	}
+	c, _ := datagen.ByName("tax", 80, 43)
+	same := true
+	for i := 0; i < 80; i++ {
+		if a.Rel.Row(i) != c.Rel.Row(i) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical data")
+	}
+}
+
+func TestByNameUnknown(t *testing.T) {
+	if _, err := datagen.ByName("nope", 10, 1); err == nil {
+		t.Error("want error for unknown dataset")
+	}
+}
+
+func TestAllGeneratesEight(t *testing.T) {
+	ds := datagen.All(30, 5)
+	if len(ds) != 8 {
+		t.Fatalf("All returned %d datasets", len(ds))
+	}
+	for _, d := range ds {
+		if d.Rel.NumRows() != 30 {
+			t.Errorf("%s: rows = %d", d.Name, d.Rel.NumRows())
+		}
+	}
+}
+
+func countDiffCells(a, b *dataset.Relation) int {
+	diff := 0
+	for ci := range a.Columns {
+		for i := 0; i < a.NumRows(); i++ {
+			if a.Columns[ci].ValueString(i) != b.Columns[ci].ValueString(i) {
+				diff++
+			}
+		}
+	}
+	return diff
+}
+
+func rowsTouched(a, b *dataset.Relation) int {
+	rows := 0
+	for i := 0; i < a.NumRows(); i++ {
+		if a.Row(i) != b.Row(i) {
+			rows++
+		}
+	}
+	return rows
+}
+
+func TestSpreadNoiseRate(t *testing.T) {
+	d, _ := datagen.ByName("stock", 800, 9)
+	rng := rand.New(rand.NewSource(9))
+	dirty := datagen.AddNoise(d.Rel, datagen.Spread, 0.01, rng)
+	cells := d.Rel.NumRows() * d.Rel.NumColumns()
+	got := float64(countDiffCells(d.Rel, dirty)) / float64(cells)
+	// Some swaps pick the same value, so the observed rate is a bit
+	// below the nominal one; it must be in the right ballpark.
+	if got < 0.003 || got > 0.015 {
+		t.Errorf("spread noise changed %.4f of cells, want ≈ 0.01", got)
+	}
+}
+
+func TestSkewedNoiseConcentrates(t *testing.T) {
+	d, _ := datagen.ByName("stock", 1000, 10)
+	rng := rand.New(rand.NewSource(10))
+	dirty := datagen.AddNoise(d.Rel, datagen.Skewed, 0.01, rng)
+	touched := rowsTouched(d.Rel, dirty)
+	// At most 1% of tuples may be touched (minus same-value swaps).
+	if touched > 10 {
+		t.Errorf("skewed noise touched %d rows, want ≤ 10", touched)
+	}
+	cells := countDiffCells(d.Rel, dirty)
+	if touched > 0 && float64(cells)/float64(touched) < 1.5 {
+		t.Errorf("skewed noise not concentrated: %d cells over %d rows", cells, touched)
+	}
+}
+
+func TestNoiseCreatesViolations(t *testing.T) {
+	d, _ := datagen.ByName("food", 150, 11)
+	rng := rand.New(rand.NewSource(11))
+	dirty := datagen.AddNoise(d.Rel, datagen.Spread, 0.02, rng)
+	space := predicate.Build(dirty, predicate.DefaultOptions())
+	total := int64(0)
+	resolved := 0
+	for _, spec := range d.Golden {
+		dc, err := predicate.FromSpecs(space, spec)
+		if err != nil {
+			continue // noise may push a pair below the 30% rule
+		}
+		resolved++
+		total += dc.CountViolations()
+	}
+	if resolved == 0 {
+		t.Fatal("no golden DC resolved on dirty data")
+	}
+	if total == 0 {
+		t.Error("2% noise produced no golden-DC violations")
+	}
+}
+
+func TestNoiseZeroRateIsIdentity(t *testing.T) {
+	d, _ := datagen.ByName("adult", 100, 12)
+	rng := rand.New(rand.NewSource(12))
+	for _, kind := range []datagen.NoiseKind{datagen.Spread, datagen.Skewed} {
+		dirty := datagen.AddNoise(d.Rel, kind, 0, rng)
+		if diff := countDiffCells(d.Rel, dirty); diff != 0 {
+			t.Errorf("%v noise at rate 0 changed %d cells", kind, diff)
+		}
+	}
+}
+
+func TestRunningExampleMatchesTable1(t *testing.T) {
+	rel := datagen.RunningExample()
+	if rel.NumRows() != 15 || rel.NumColumns() != 5 {
+		t.Fatalf("running example shape (%d, %d)", rel.NumRows(), rel.NumColumns())
+	}
+	if rel.Column("Name").Strings[5] != "Julia" || rel.Column("State").Strings[14] != "IL" {
+		t.Error("running example values wrong")
+	}
+	if rel.Column("Income").Ints[2] != 93000 || rel.Column("Tax").Ints[12] != 1000 {
+		t.Error("running example numerics wrong")
+	}
+}
+
+func TestBirthYearAgeConsistency(t *testing.T) {
+	d, _ := datagen.ByName("adult", 200, 13)
+	age := d.Rel.Column("Age")
+	by := d.Rel.Column("BirthYear")
+	for i := 0; i < 200; i++ {
+		if age.Ints[i]+by.Ints[i] != 2020 {
+			t.Fatalf("row %d: age %d + birth year %d != 2020", i, age.Ints[i], by.Ints[i])
+		}
+	}
+}
+
+func TestStockPriceInvariants(t *testing.T) {
+	d, _ := datagen.ByName("stock", 300, 14)
+	lo := d.Rel.Column("Low")
+	hi := d.Rel.Column("High")
+	op := d.Rel.Column("Open")
+	cl := d.Rel.Column("Close")
+	for i := 0; i < 300; i++ {
+		if lo.Ints[i] > hi.Ints[i] || op.Ints[i] > hi.Ints[i] || op.Ints[i] < lo.Ints[i] ||
+			cl.Ints[i] > hi.Ints[i] || cl.Ints[i] < lo.Ints[i] {
+			t.Fatalf("row %d breaks OHLC invariants", i)
+		}
+	}
+}
+
+func TestNoiseRateStability(t *testing.T) {
+	// Larger relations keep the empirical rate near nominal (law of
+	// large numbers sanity check on the noise model).
+	d, _ := datagen.ByName("voter", 1500, 15)
+	rng := rand.New(rand.NewSource(15))
+	dirty := datagen.AddNoise(d.Rel, datagen.Spread, 0.005, rng)
+	cells := d.Rel.NumRows() * d.Rel.NumColumns()
+	got := float64(countDiffCells(d.Rel, dirty)) / float64(cells)
+	if math.Abs(got-0.005) > 0.003 {
+		t.Errorf("noise rate %.5f too far from 0.005", got)
+	}
+}

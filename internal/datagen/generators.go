@@ -1,0 +1,403 @@
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"adc/internal/dataset"
+	"adc/internal/predicate"
+)
+
+// Dataset bundles a generated relation with its golden DCs — the
+// constraints a domain expert would state, which the G-recall
+// experiments (Section 8.4) try to rediscover — and the row count of
+// the corresponding real dataset in the paper's Table 4.
+type Dataset struct {
+	Name      string
+	Rel       *dataset.Relation
+	Golden    []predicate.DCSpec
+	PaperRows int
+}
+
+// Names lists the eight datasets of Table 4, in the paper's order.
+func Names() []string {
+	return []string{"tax", "stock", "hospital", "food", "airport", "adult", "flight", "voter"}
+}
+
+// ByName generates the named dataset with n rows.
+func ByName(name string, n int, seed int64) (Dataset, error) {
+	switch name {
+	case "tax":
+		return Tax(n, seed), nil
+	case "stock":
+		return Stock(n, seed), nil
+	case "hospital":
+		return Hospital(n, seed), nil
+	case "food":
+		return Food(n, seed), nil
+	case "airport":
+		return Airport(n, seed), nil
+	case "adult":
+		return Adult(n, seed), nil
+	case "flight":
+		return Flight(n, seed), nil
+	case "voter":
+		return Voter(n, seed), nil
+	}
+	return Dataset{}, fmt.Errorf("datagen: unknown dataset %q (have %v)", name, Names())
+}
+
+// All generates every dataset of Table 4 at n rows each.
+func All(n int, seed int64) []Dataset {
+	out := make([]Dataset, 0, len(Names()))
+	for i, name := range Names() {
+		d, err := ByName(name, n, seed+int64(i))
+		if err != nil {
+			panic(err) // unreachable: Names and ByName agree
+		}
+		out = append(out, d)
+	}
+	return out
+}
+
+// cross builds a cross-tuple predicate spec t[A] ρ t'[B].
+func cross(a string, op predicate.Operator, b string) predicate.Spec {
+	return predicate.Spec{A: a, B: b, Op: op, Cross: true}
+}
+
+// single builds a single-tuple predicate spec t[A] ρ t[B].
+func single(a string, op predicate.Operator, b string) predicate.Spec {
+	return predicate.Spec{A: a, B: b, Op: op, Cross: false}
+}
+
+// fd builds the DC form of the FD determinant → dependent:
+// not(det1 = det1' ∧ ... ∧ dep ≠ dep').
+func fd(dep string, det ...string) predicate.DCSpec {
+	var dc predicate.DCSpec
+	for _, d := range det {
+		dc = append(dc, cross(d, predicate.Eq, d))
+	}
+	return append(dc, cross(dep, predicate.Neq, dep))
+}
+
+// unique builds the key DC not(t[A] = t'[A]).
+func unique(a string) predicate.DCSpec {
+	return predicate.DCSpec{cross(a, predicate.Eq, a)}
+}
+
+// Tax generates the synthetic Tax dataset (Table 4: 1M rows, 15
+// attributes, 9 golden DCs): personal records whose tax rate grows
+// monotonically with salary within a state, zip codes nested in states
+// and cities, area codes nested in states, and state-level exemption
+// schedules — the workload of the paper's running example.
+func Tax(n int, seed int64) Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	const states = 20
+	fname := make([]string, n)
+	lname := make([]string, n)
+	gender := make([]string, n)
+	area := make([]int64, n)
+	phone := make([]string, n)
+	city := make([]string, n)
+	state := make([]string, n)
+	zip := make([]int64, n)
+	marital := make([]string, n)
+	hasChild := make([]string, n)
+	salary := make([]int64, n)
+	rate := make([]int64, n)
+	singleEx := make([]int64, n)
+	marriedEx := make([]int64, n)
+	childEx := make([]int64, n)
+
+	perm := rng.Perm(n) // unique phone assignment
+	for i := 0; i < n; i++ {
+		st := rng.Intn(states)
+		z := int64(st*1000 + 10000 + rng.Intn(30)) // zip embeds state
+		fname[i] = fmt.Sprintf("F%03d", rng.Intn(300))
+		lname[i] = fmt.Sprintf("L%03d", rng.Intn(300))
+		gender[i] = pick(rng, "M", "F")
+		area[i] = int64(int(z)/7*7%900 + 100) // function of zip
+		phone[i] = fmt.Sprintf("P%08d", perm[i])
+		city[i] = fmt.Sprintf("City%03d", int(z)/3) // function of zip
+		state[i] = fmt.Sprintf("ST%02d", st)
+		zip[i] = z
+		marital[i] = pick(rng, "S", "M")
+		hasChild[i] = pick(rng, "Y", "N")
+		salary[i] = int64(20000 + rng.Intn(800)*100)
+		rate[i] = int64(st) + salary[i]/10000 // monotone in salary per state
+		m := int64(0)
+		if marital[i] == "M" {
+			m = 1
+		}
+		hc := int64(0)
+		if hasChild[i] == "Y" {
+			hc = 1
+		}
+		singleEx[i] = (int64(st%5) + 1 + m) * 100    // f(state, marital)
+		marriedEx[i] = singleEx[i] + int64(st%3)*100 // ≥ single exemption
+		childEx[i] = (int64(st%4) + 1 + hc*2) * 100  // f(state, hasChild)
+	}
+
+	// Area code must be a function of zip that also determines state:
+	// recompute to embed the state explicitly.
+	for i := 0; i < n; i++ {
+		st := (zip[i] - 10000) / 1000
+		area[i] = st*37 + zip[i]%7 + 200
+	}
+
+	rel := dataset.MustNewRelation("tax", []*dataset.Column{
+		dataset.NewStringColumn("FName", fname),
+		dataset.NewStringColumn("LName", lname),
+		dataset.NewStringColumn("Gender", gender),
+		dataset.NewIntColumn("AreaCode", area),
+		dataset.NewStringColumn("Phone", phone),
+		dataset.NewStringColumn("City", city),
+		dataset.NewStringColumn("State", state),
+		dataset.NewIntColumn("Zip", zip),
+		dataset.NewStringColumn("Marital", marital),
+		dataset.NewStringColumn("HasChild", hasChild),
+		dataset.NewIntColumn("Salary", salary),
+		dataset.NewIntColumn("Rate", rate),
+		dataset.NewIntColumn("SingleExemp", singleEx),
+		dataset.NewIntColumn("MarriedExemp", marriedEx),
+		dataset.NewIntColumn("ChildExemp", childEx),
+	})
+	golden := []predicate.DCSpec{
+		// Higher salary implies no lower rate, per state (running example).
+		{cross("State", predicate.Eq, "State"),
+			cross("Salary", predicate.Gt, "Salary"),
+			cross("Rate", predicate.Lt, "Rate")},
+		fd("State", "Zip"),
+		fd("City", "Zip"),
+		fd("State", "AreaCode"),
+		unique("Phone"),
+		fd("SingleExemp", "State", "Marital"),
+		fd("ChildExemp", "State", "HasChild"),
+		{single("SingleExemp", predicate.Gt, "MarriedExemp")},
+		fd("AreaCode", "Zip"),
+	}
+	return Dataset{Name: "tax", Rel: rel, Golden: golden, PaperRows: 1_000_000}
+}
+
+// Stock generates the SP Stock analogue (Table 4: 123K rows, 7
+// attributes, 6 golden DCs): daily OHLC bars where High bounds every
+// other price and (Ticker, Date) is a key.
+func Stock(n int, seed int64) Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	tickers := 50
+	date := make([]string, n)
+	ticker := make([]string, n)
+	open := make([]int64, n)
+	high := make([]int64, n)
+	low := make([]int64, n)
+	clos := make([]int64, n)
+	volume := make([]int64, n)
+	for i := 0; i < n; i++ {
+		tk := i % tickers
+		day := i / tickers
+		ticker[i] = fmt.Sprintf("TK%02d", tk)
+		date[i] = fmt.Sprintf("D%05d", day)
+		// Prices live on a 5-point grid so the 30% common-values rule
+		// keeps the four price attributes mutually comparable even on
+		// small generated instances.
+		l := int64(50 + 5*rng.Intn(40))
+		spread := int64(5 * (1 + rng.Intn(4)))
+		h := l + spread
+		low[i], high[i] = l, h
+		open[i] = l + 5*int64(rng.Intn(int(spread)/5+1))
+		clos[i] = l + 5*int64(rng.Intn(int(spread)/5+1))
+		volume[i] = int64(1000 + rng.Intn(100000))
+	}
+	rel := dataset.MustNewRelation("stock", []*dataset.Column{
+		dataset.NewStringColumn("Date", date),
+		dataset.NewStringColumn("Ticker", ticker),
+		dataset.NewIntColumn("Open", open),
+		dataset.NewIntColumn("High", high),
+		dataset.NewIntColumn("Low", low),
+		dataset.NewIntColumn("Close", clos),
+		dataset.NewIntColumn("Volume", volume),
+	})
+	golden := []predicate.DCSpec{
+		{single("High", predicate.Lt, "Low")}, // Table 5's not(High < Low)
+		{single("Open", predicate.Gt, "High")},
+		{single("Open", predicate.Lt, "Low")},
+		{single("Close", predicate.Gt, "High")},
+		{single("Close", predicate.Lt, "Low")},
+		{cross("Ticker", predicate.Eq, "Ticker"), cross("Date", predicate.Eq, "Date")},
+	}
+	return Dataset{Name: "stock", Rel: rel, Golden: golden, PaperRows: 123_000}
+}
+
+// Hospital generates the Hospital analogue (Table 4: 115K rows, 19
+// attributes, 7 golden DCs): provider facts joined with quality
+// measures, state averages constant per (state, measure).
+func Hospital(n int, seed int64) Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	providers := maxInt(n/20, 4)
+	measures := 25
+	providerID := make([]int64, n)
+	name := make([]string, n)
+	addr := make([]string, n)
+	city := make([]string, n)
+	state := make([]string, n)
+	zip := make([]int64, n)
+	county := make([]string, n)
+	phone := make([]string, n)
+	mCode := make([]string, n)
+	mName := make([]string, n)
+	condition := make([]string, n)
+	stateAvg := make([]int64, n)
+	score := make([]int64, n)
+	sampleN := make([]int64, n)
+	owner := make([]string, n)
+	ftype := make([]string, n)
+	emergency := make([]string, n)
+	rating := make([]int64, n)
+	years := make([]int64, n)
+	for i := 0; i < n; i++ {
+		p := rng.Intn(providers)
+		st := p % 15
+		m := rng.Intn(measures)
+		z := int64(st*500 + 20000 + p%40)
+		providerID[i] = int64(p + 100000)
+		name[i] = fmt.Sprintf("Hospital%04d", p)
+		addr[i] = fmt.Sprintf("%d Main St", p)
+		city[i] = fmt.Sprintf("HCity%03d", int(z)%97)
+		state[i] = fmt.Sprintf("HS%02d", st)
+		zip[i] = z
+		county[i] = fmt.Sprintf("County%02d", st*3+p%3)
+		phone[i] = fmt.Sprintf("555%06d", p)
+		mCode[i] = fmt.Sprintf("MC%02d", m)
+		mName[i] = fmt.Sprintf("Measure %02d", m)
+		condition[i] = fmt.Sprintf("Cond%d", m%8)
+		stateAvg[i] = int64(st*100 + m) // f(state, measure)
+		score[i] = int64(rng.Intn(100))
+		sampleN[i] = int64(10 + rng.Intn(500))
+		owner[i] = pick(rng, "Government", "Private", "Nonprofit")
+		ftype[i] = pick(rng, "Acute", "Critical", "Childrens")
+		emergency[i] = pick(rng, "Yes", "No")
+		rating[i] = int64(1 + rng.Intn(5))
+		years[i] = int64(1 + rng.Intn(80))
+	}
+	rel := dataset.MustNewRelation("hospital", []*dataset.Column{
+		dataset.NewIntColumn("ProviderID", providerID),
+		dataset.NewStringColumn("Name", name),
+		dataset.NewStringColumn("Address", addr),
+		dataset.NewStringColumn("City", city),
+		dataset.NewStringColumn("State", state),
+		dataset.NewIntColumn("Zip", zip),
+		dataset.NewStringColumn("County", county),
+		dataset.NewStringColumn("Phone", phone),
+		dataset.NewStringColumn("MeasureCode", mCode),
+		dataset.NewStringColumn("MeasureName", mName),
+		dataset.NewStringColumn("Condition", condition),
+		dataset.NewIntColumn("StateAvg", stateAvg),
+		dataset.NewIntColumn("Score", score),
+		dataset.NewIntColumn("Sample", sampleN),
+		dataset.NewStringColumn("Owner", owner),
+		dataset.NewStringColumn("FacilityType", ftype),
+		dataset.NewStringColumn("Emergency", emergency),
+		dataset.NewIntColumn("Rating", rating),
+		dataset.NewIntColumn("YearsOpen", years),
+	})
+	golden := []predicate.DCSpec{
+		fd("State", "Zip"),
+		fd("Name", "ProviderID"),
+		fd("MeasureName", "MeasureCode"),
+		fd("Condition", "MeasureCode"),
+		// Table 5: same state and measure code imply equal state average.
+		fd("StateAvg", "State", "MeasureCode"),
+		fd("Phone", "ProviderID"),
+		fd("City", "Zip"),
+	}
+	return Dataset{Name: "hospital", Rel: rel, Golden: golden, PaperRows: 115_000}
+}
+
+// Food generates the Food Inspection analogue (Table 4: 200K rows, 17
+// attributes, 10 golden DCs): license-keyed facility facts with
+// zip-nested geography, the source of Table 5's zip→state ADC.
+func Food(n int, seed int64) Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	licenses := maxInt(n/8, 4)
+	inspID := make([]int64, n)
+	dba := make([]string, n)
+	aka := make([]string, n)
+	license := make([]int64, n)
+	ftype := make([]string, n)
+	risk := make([]string, n)
+	addr := make([]string, n)
+	city := make([]string, n)
+	state := make([]string, n)
+	zip := make([]int64, n)
+	idate := make([]string, n)
+	itype := make([]string, n)
+	results := make([]string, n)
+	violations := make([]int64, n)
+	lat := make([]int64, n)
+	lon := make([]int64, n)
+	ward := make([]int64, n)
+	for i := 0; i < n; i++ {
+		lic := rng.Intn(licenses)
+		z := int64(60000 + lic%200)
+		inspID[i] = int64(i + 1) // unique inspection id
+		dba[i] = fmt.Sprintf("Biz%05d", lic)
+		aka[i] = fmt.Sprintf("AKA%05d", lic)
+		license[i] = int64(lic + 2000000)
+		ftype[i] = []string{"Restaurant", "Grocery", "Bakery", "School"}[lic%4]
+		risk[i] = []string{"High", "Medium", "Low"}[lic%3]
+		addr[i] = fmt.Sprintf("%d W Elm", lic)
+		city[i] = fmt.Sprintf("FCity%02d", int(z)%23)
+		state[i] = fmt.Sprintf("FS%02d", int(z)%11)
+		zip[i] = z
+		idate[i] = fmt.Sprintf("2019-%02d-%02d", 1+rng.Intn(12), 1+rng.Intn(28))
+		itype[i] = pick(rng, "Canvass", "Complaint", "License")
+		results[i] = pick(rng, "Pass", "Fail", "Conditional")
+		violations[i] = int64(rng.Intn(20))
+		lat[i] = int64(400 + lic%100)
+		lon[i] = lat[i] + int64(1+rng.Intn(50)) // strictly above latitude
+		ward[i] = int64(lic%50 + 1)
+	}
+	rel := dataset.MustNewRelation("food", []*dataset.Column{
+		dataset.NewIntColumn("InspectionID", inspID),
+		dataset.NewStringColumn("DBAName", dba),
+		dataset.NewStringColumn("AKAName", aka),
+		dataset.NewIntColumn("License", license),
+		dataset.NewStringColumn("FacilityType", ftype),
+		dataset.NewStringColumn("Risk", risk),
+		dataset.NewStringColumn("Address", addr),
+		dataset.NewStringColumn("City", city),
+		dataset.NewStringColumn("State", state),
+		dataset.NewIntColumn("Zip", zip),
+		dataset.NewStringColumn("InspectionDate", idate),
+		dataset.NewStringColumn("InspectionType", itype),
+		dataset.NewStringColumn("Results", results),
+		dataset.NewIntColumn("Violations", violations),
+		dataset.NewIntColumn("Latitude", lat),
+		dataset.NewIntColumn("Longitude", lon),
+		dataset.NewIntColumn("Ward", ward),
+	})
+	golden := []predicate.DCSpec{
+		fd("State", "Zip"), // Table 5's zip → state
+		fd("DBAName", "License"),
+		fd("Address", "License"),
+		unique("InspectionID"),
+		fd("City", "Zip"),
+		fd("FacilityType", "License"),
+		fd("Risk", "License"),
+		fd("Zip", "Address"),
+		fd("Ward", "Address"),
+		fd("AKAName", "License"),
+	}
+	return Dataset{Name: "food", Rel: rel, Golden: golden, PaperRows: 200_000}
+}
+
+func pick(rng *rand.Rand, options ...string) string {
+	return options[rng.Intn(len(options))]
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

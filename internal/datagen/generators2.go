@@ -1,0 +1,359 @@
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"adc/internal/dataset"
+	"adc/internal/predicate"
+)
+
+// Airport generates the Airport analogue (Table 4: 55K rows, 12
+// attributes, 9 golden DCs): unique IATA/ICAO codes, city/state/country
+// nesting, elevation bands and an owner→use functional rule.
+func Airport(n int, seed int64) Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	iata := make([]string, n)
+	icao := make([]string, n)
+	name := make([]string, n)
+	city := make([]string, n)
+	state := make([]string, n)
+	country := make([]string, n)
+	elevMin := make([]int64, n)
+	elevMax := make([]int64, n)
+	lat := make([]int64, n)
+	lon := make([]int64, n)
+	owner := make([]string, n)
+	use := make([]string, n)
+	perm := rng.Perm(n)
+	for i := 0; i < n; i++ {
+		id := perm[i]
+		st := rng.Intn(30)
+		iata[i] = fmt.Sprintf("A%04d", id)
+		icao[i] = fmt.Sprintf("KA%04d", id)
+		name[i] = fmt.Sprintf("Airport %05d", id)
+		city[i] = fmt.Sprintf("ACity%03d", st*4+rng.Intn(4)) // city embeds state
+		state[i] = fmt.Sprintf("AS%02d", st)
+		country[i] = fmt.Sprintf("CT%d", st/10) // country embeds state group
+		// Coarse grids keep these attribute pairs above the 30%
+		// common-values rule on small generated instances.
+		e := int64(rng.Intn(30)) * 50
+		elevMin[i] = e
+		elevMax[i] = e + int64(rng.Intn(10))*50
+		la := int64(2 * rng.Intn(25))
+		lat[i] = la
+		lon[i] = la + 2*int64(1+rng.Intn(10))
+		ow := pick(rng, "Public", "Private", "Military")
+		owner[i] = ow
+		use[i] = map[string]string{"Public": "Civil", "Private": "GA", "Military": "Defense"}[ow]
+	}
+	rel := dataset.MustNewRelation("airport", []*dataset.Column{
+		dataset.NewStringColumn("IATA", iata),
+		dataset.NewStringColumn("ICAO", icao),
+		dataset.NewStringColumn("Name", name),
+		dataset.NewStringColumn("City", city),
+		dataset.NewStringColumn("State", state),
+		dataset.NewStringColumn("Country", country),
+		dataset.NewIntColumn("ElevMin", elevMin),
+		dataset.NewIntColumn("ElevMax", elevMax),
+		dataset.NewIntColumn("Latitude", lat),
+		dataset.NewIntColumn("Longitude", lon),
+		dataset.NewStringColumn("Owner", owner),
+		dataset.NewStringColumn("Use", use),
+	})
+	golden := []predicate.DCSpec{
+		unique("IATA"),
+		unique("ICAO"),
+		fd("State", "City"),
+		fd("Country", "State"),
+		{single("ElevMin", predicate.Gt, "ElevMax")},
+		unique("Name"),
+		fd("Use", "Owner"),
+		{single("Latitude", predicate.Geq, "Longitude")},
+		fd("Country", "City"),
+	}
+	return Dataset{Name: "airport", Rel: rel, Golden: golden, PaperRows: 55_000}
+}
+
+// Adult generates the Adult (census) analogue (Table 4: 32K rows, 15
+// attributes, 3 golden DCs), including the age/birth-year DC of
+// Table 5.
+func Adult(n int, seed int64) Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	age := make([]int64, n)
+	workclass := make([]string, n)
+	fnlwgt := make([]int64, n)
+	education := make([]string, n)
+	eduNum := make([]int64, n)
+	marital := make([]string, n)
+	occupation := make([]string, n)
+	relationship := make([]string, n)
+	race := make([]string, n)
+	sex := make([]string, n)
+	capGain := make([]int64, n)
+	capLoss := make([]int64, n)
+	hours := make([]int64, n)
+	country := make([]string, n)
+	birthYear := make([]int64, n)
+	edus := []string{"HS", "SomeCollege", "Bachelors", "Masters", "Doctorate"}
+	for i := 0; i < n; i++ {
+		a := int64(17 + rng.Intn(60))
+		age[i] = a
+		birthYear[i] = 2020 - a
+		workclass[i] = pick(rng, "Private", "SelfEmp", "Gov", "Unemployed")
+		fnlwgt[i] = int64(10000 + rng.Intn(90000))
+		e := rng.Intn(len(edus))
+		education[i] = edus[e]
+		eduNum[i] = int64(e + 9) // f(education)
+		marital[i] = pick(rng, "Married", "Single", "Divorced")
+		occupation[i] = pick(rng, "Tech", "Sales", "Admin", "Craft", "Service")
+		sx := pick(rng, "Male", "Female")
+		sex[i] = sx
+		// Relationship embeds sex: Husband↔Male, Wife↔Female, Single-<sex>.
+		if marital[i] == "Married" {
+			if sx == "Male" {
+				relationship[i] = "Husband"
+			} else {
+				relationship[i] = "Wife"
+			}
+		} else {
+			relationship[i] = "Single-" + sx
+		}
+		race[i] = pick(rng, "White", "Black", "Asian", "Other")
+		capGain[i] = int64(rng.Intn(5000))
+		capLoss[i] = int64(rng.Intn(2000))
+		hours[i] = int64(10 + rng.Intn(60))
+		country[i] = pick(rng, "US", "MX", "CA", "IN", "PH")
+	}
+	rel := dataset.MustNewRelation("adult", []*dataset.Column{
+		dataset.NewIntColumn("Age", age),
+		dataset.NewStringColumn("Workclass", workclass),
+		dataset.NewIntColumn("Fnlwgt", fnlwgt),
+		dataset.NewStringColumn("Education", education),
+		dataset.NewIntColumn("EducationNum", eduNum),
+		dataset.NewStringColumn("Marital", marital),
+		dataset.NewStringColumn("Occupation", occupation),
+		dataset.NewStringColumn("Relationship", relationship),
+		dataset.NewStringColumn("Race", race),
+		dataset.NewStringColumn("Sex", sex),
+		dataset.NewIntColumn("CapitalGain", capGain),
+		dataset.NewIntColumn("CapitalLoss", capLoss),
+		dataset.NewIntColumn("HoursPerWeek", hours),
+		dataset.NewStringColumn("Country", country),
+		dataset.NewIntColumn("BirthYear", birthYear),
+	})
+	golden := []predicate.DCSpec{
+		fd("EducationNum", "Education"),
+		// Table 5: a younger person cannot have an earlier birth year.
+		{cross("Age", predicate.Lt, "Age"), cross("BirthYear", predicate.Lt, "BirthYear")},
+		fd("Sex", "Relationship"),
+	}
+	return Dataset{Name: "adult", Rel: rel, Golden: golden, PaperRows: 32_000}
+}
+
+// Flight generates the Flight analogue (Table 4: 582K rows, 20
+// attributes, 13 golden DCs): airport geography FDs plus the temporal
+// orderings departure ≤ wheels-off ≤ wheels-on ≤ arrival.
+func Flight(n int, seed int64) Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	routes := maxInt(n/15, 4)
+	flightNum := make([]int64, n)
+	airline := make([]string, n)
+	origAirport := make([]string, n)
+	origCity := make([]string, n)
+	origState := make([]string, n)
+	destAirport := make([]string, n)
+	destCity := make([]string, n)
+	destState := make([]string, n)
+	schedDep := make([]int64, n)
+	actualDep := make([]int64, n)
+	schedArr := make([]int64, n)
+	actualArr := make([]int64, n)
+	elapsed := make([]int64, n)
+	distance := make([]int64, n)
+	taxiOut := make([]int64, n)
+	taxiIn := make([]int64, n)
+	wheelsOff := make([]int64, n)
+	wheelsOn := make([]int64, n)
+	cancelled := make([]string, n)
+	diverted := make([]string, n)
+	airportOf := func(code int) (ap, city, st string) {
+		return fmt.Sprintf("AP%03d", code), fmt.Sprintf("FC%03d", code/2), fmt.Sprintf("FS%02d", code/4)
+	}
+	for i := 0; i < n; i++ {
+		route := rng.Intn(routes)
+		o := route % 40
+		d := (route*7 + 13) % 40
+		flightNum[i] = int64(route + 1000) // flight number keys the route
+		airline[i] = fmt.Sprintf("AL%d", route%9)
+		origAirport[i], origCity[i], origState[i] = airportOf(o)
+		destAirport[i], destCity[i], destState[i] = airportOf(d)
+		// Times live on a 15-minute grid so that the paper's 30%
+		// common-values rule keeps the time attributes comparable.
+		dep := int64(300 + 15*rng.Intn(60))
+		dur := int64(15 * (4 + rng.Intn(20)))
+		schedDep[i] = dep
+		schedArr[i] = dep + dur
+		ad := dep + int64(15*rng.Intn(4))
+		actualDep[i] = ad
+		woff := ad + int64(15*(1+rng.Intn(2)))
+		won := woff + dur - int64(15*rng.Intn(2))
+		wheelsOff[i], wheelsOn[i] = woff, won
+		aa := won + int64(15)
+		actualArr[i] = aa
+		elapsed[i] = aa - ad
+		distance[i] = dur * 8
+		taxiOut[i] = woff - ad
+		taxiIn[i] = aa - won
+		cancelled[i] = pick(rng, "N", "N", "N", "Y")
+		diverted[i] = pick(rng, "N", "N", "N", "N", "Y")
+	}
+	rel := dataset.MustNewRelation("flight", []*dataset.Column{
+		dataset.NewIntColumn("FlightNum", flightNum),
+		dataset.NewStringColumn("Airline", airline),
+		dataset.NewStringColumn("OrigAirport", origAirport),
+		dataset.NewStringColumn("OrigCity", origCity),
+		dataset.NewStringColumn("OrigState", origState),
+		dataset.NewStringColumn("DestAirport", destAirport),
+		dataset.NewStringColumn("DestCity", destCity),
+		dataset.NewStringColumn("DestState", destState),
+		dataset.NewIntColumn("SchedDep", schedDep),
+		dataset.NewIntColumn("ActualDep", actualDep),
+		dataset.NewIntColumn("SchedArr", schedArr),
+		dataset.NewIntColumn("ActualArr", actualArr),
+		dataset.NewIntColumn("Elapsed", elapsed),
+		dataset.NewIntColumn("Distance", distance),
+		dataset.NewIntColumn("TaxiOut", taxiOut),
+		dataset.NewIntColumn("TaxiIn", taxiIn),
+		dataset.NewIntColumn("WheelsOff", wheelsOff),
+		dataset.NewIntColumn("WheelsOn", wheelsOn),
+		dataset.NewStringColumn("Cancelled", cancelled),
+		dataset.NewStringColumn("Diverted", diverted),
+	})
+	golden := []predicate.DCSpec{
+		fd("OrigCity", "OrigAirport"),
+		fd("OrigState", "OrigAirport"),
+		fd("DestCity", "DestAirport"),
+		fd("DestState", "DestAirport"),
+		{single("SchedDep", predicate.Gt, "SchedArr")},
+		{single("ActualDep", predicate.Gt, "ActualArr")},
+		{single("WheelsOff", predicate.Lt, "ActualDep")},
+		{single("WheelsOn", predicate.Gt, "ActualArr")},
+		{single("WheelsOff", predicate.Gt, "WheelsOn")},
+		fd("Airline", "FlightNum"),
+		fd("OrigState", "OrigCity"),
+		fd("DestState", "DestCity"),
+		fd("OrigAirport", "FlightNum"),
+	}
+	return Dataset{Name: "flight", Rel: rel, Golden: golden, PaperRows: 582_000}
+}
+
+// Voter generates the NCVoter analogue (Table 4: 950K rows, 25
+// attributes, 12 golden DCs): registration records with nested
+// geography, bijective county codes, and the age/birth-year ordering.
+func Voter(n int, seed int64) Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	voterID := make([]int64, n)
+	fname := make([]string, n)
+	lname := make([]string, n)
+	mname := make([]string, n)
+	age := make([]int64, n)
+	birthYear := make([]int64, n)
+	gender := make([]string, n)
+	regYear := make([]int64, n)
+	party := make([]string, n)
+	status := make([]string, n)
+	statusReason := make([]string, n)
+	houseNum := make([]int64, n)
+	street := make([]string, n)
+	city := make([]string, n)
+	state := make([]string, n)
+	zip := make([]int64, n)
+	county := make([]string, n)
+	countyCode := make([]int64, n)
+	precinct := make([]string, n)
+	precinctCode := make([]int64, n)
+	phone := make([]string, n)
+	area := make([]int64, n)
+	district := make([]int64, n)
+	ward := make([]int64, n)
+	addr := make([]string, n)
+	perm := rng.Perm(n)
+	for i := 0; i < n; i++ {
+		st := rng.Intn(10)
+		cty := st*5 + rng.Intn(5)
+		z := int64(30000 + cty*100 + rng.Intn(20))
+		prec := cty*10 + rng.Intn(10)
+		a := int64(18 + rng.Intn(70))
+		voterID[i] = int64(perm[i] + 5000000)
+		fname[i] = fmt.Sprintf("VF%03d", rng.Intn(400))
+		lname[i] = fmt.Sprintf("VL%03d", rng.Intn(400))
+		mname[i] = fmt.Sprintf("%c", 'A'+rng.Intn(26))
+		age[i] = a
+		birthYear[i] = 2020 - a
+		gender[i] = pick(rng, "M", "F", "U")
+		regYear[i] = int64(1980 + rng.Intn(40))
+		party[i] = pick(rng, "DEM", "REP", "UNA", "LIB")
+		sts := pick(rng, "Active", "Inactive", "Removed")
+		status[i] = sts
+		statusReason[i] = map[string]string{
+			"Active": "Verified", "Inactive": "Undeliverable", "Removed": "Moved",
+		}[sts]
+		houseNum[i] = int64(1 + rng.Intn(9999))
+		street[i] = fmt.Sprintf("Street%03d", rng.Intn(200))
+		city[i] = fmt.Sprintf("VC%03d", int(z)/40) // f(zip)
+		state[i] = fmt.Sprintf("VS%02d", st)
+		zip[i] = z
+		county[i] = fmt.Sprintf("VCounty%02d", cty)
+		countyCode[i] = int64(cty + 100)
+		precinct[i] = fmt.Sprintf("PR%03d", prec)
+		precinctCode[i] = int64(prec + 1000)
+		phone[i] = fmt.Sprintf("9%08d", perm[i])
+		area[i] = int64(st*11 + 300)
+		district[i] = int64(cty%13 + 1)
+		ward[i] = int64(prec%9 + 1)
+		addr[i] = fmt.Sprintf("%d %s", houseNum[i], street[i])
+	}
+	rel := dataset.MustNewRelation("voter", []*dataset.Column{
+		dataset.NewIntColumn("VoterID", voterID),
+		dataset.NewStringColumn("FName", fname),
+		dataset.NewStringColumn("LName", lname),
+		dataset.NewStringColumn("MName", mname),
+		dataset.NewIntColumn("Age", age),
+		dataset.NewIntColumn("BirthYear", birthYear),
+		dataset.NewStringColumn("Gender", gender),
+		dataset.NewIntColumn("RegYear", regYear),
+		dataset.NewStringColumn("Party", party),
+		dataset.NewStringColumn("Status", status),
+		dataset.NewStringColumn("StatusReason", statusReason),
+		dataset.NewStringColumn("Address", addr),
+		dataset.NewIntColumn("HouseNum", houseNum),
+		dataset.NewStringColumn("Street", street),
+		dataset.NewStringColumn("City", city),
+		dataset.NewStringColumn("State", state),
+		dataset.NewIntColumn("Zip", zip),
+		dataset.NewStringColumn("County", county),
+		dataset.NewIntColumn("CountyCode", countyCode),
+		dataset.NewStringColumn("Precinct", precinct),
+		dataset.NewIntColumn("PrecinctCode", precinctCode),
+		dataset.NewStringColumn("Phone", phone),
+		dataset.NewIntColumn("AreaCode", area),
+		dataset.NewIntColumn("District", district),
+		dataset.NewIntColumn("Ward", ward),
+	})
+	golden := []predicate.DCSpec{
+		unique("VoterID"),
+		{cross("Age", predicate.Lt, "Age"), cross("BirthYear", predicate.Lt, "BirthYear")},
+		fd("State", "Zip"),
+		fd("City", "Zip"),
+		fd("County", "CountyCode"),
+		fd("CountyCode", "County"),
+		fd("Precinct", "PrecinctCode"),
+		unique("Phone"),
+		fd("State", "AreaCode"),
+		fd("County", "Zip"),
+		fd("StatusReason", "Status"),
+		fd("Ward", "Precinct"),
+	}
+	return Dataset{Name: "voter", Rel: rel, Golden: golden, PaperRows: 950_000}
+}

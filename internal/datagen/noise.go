@@ -1,0 +1,139 @@
+package datagen
+
+import (
+	"math/rand"
+	"strconv"
+
+	"adc/internal/dataset"
+)
+
+// NoiseKind selects the error placement model of Section 8.4.
+type NoiseKind int
+
+const (
+	// Spread flips each cell independently with the given probability,
+	// so errors are distributed among the tuples.
+	Spread NoiseKind = iota
+	// Skewed concentrates errors: a fraction of tuples is chosen and
+	// several of their cells are modified, so few tuples carry all the
+	// errors (where the f3-style functions shine, Figure 14 right).
+	Skewed
+)
+
+func (k NoiseKind) String() string {
+	if k == Skewed {
+		return "skewed"
+	}
+	return "spread"
+}
+
+// AddNoise returns a dirtied copy of rel. Under Spread, each cell is
+// modified with probability rate. Under Skewed, ceil(rate·n) tuples are
+// chosen and each of their cells is modified with probability 1/2.
+// A modified cell gets, with equal probability, either another value
+// from the column's active domain or a typo — exactly the paper's noise
+// model (Section 8.4, rate 0.001 in the paper's runs).
+func AddNoise(rel *dataset.Relation, kind NoiseKind, rate float64, rng *rand.Rand) *dataset.Relation {
+	n := rel.NumRows()
+	dirtyRow := make([]bool, n)
+	if kind == Skewed {
+		k := int(rate * float64(n))
+		if k < 1 && rate > 0 {
+			k = 1
+		}
+		for _, i := range rng.Perm(n)[:k] {
+			dirtyRow[i] = true
+		}
+	}
+	cols := make([]*dataset.Column, rel.NumColumns())
+	for ci, c := range rel.Columns {
+		cols[ci] = noisyColumn(c, kind, rate, dirtyRow, rng)
+	}
+	return dataset.MustNewRelation(rel.Name+"_dirty_"+kind.String(), cols)
+}
+
+func noisyColumn(c *dataset.Column, kind NoiseKind, rate float64, dirtyRow []bool, rng *rand.Rand) *dataset.Column {
+	n := c.Len()
+	hit := func(i int) bool {
+		if kind == Spread {
+			return rng.Float64() < rate
+		}
+		return dirtyRow[i] && rng.Float64() < 0.5
+	}
+	switch c.Type {
+	case dataset.Int:
+		v := append([]int64(nil), c.Ints...)
+		for i := 0; i < n; i++ {
+			if !hit(i) {
+				continue
+			}
+			if rng.Intn(2) == 0 {
+				v[i] = c.Ints[rng.Intn(n)] // active-domain swap
+			} else {
+				v[i] = intTypo(v[i], rng)
+			}
+		}
+		return dataset.NewIntColumn(c.Name, v)
+	case dataset.Float:
+		v := append([]float64(nil), c.Floats...)
+		for i := 0; i < n; i++ {
+			if !hit(i) {
+				continue
+			}
+			if rng.Intn(2) == 0 {
+				v[i] = c.Floats[rng.Intn(n)]
+			} else {
+				v[i] += float64(1 + rng.Intn(9))
+			}
+		}
+		return dataset.NewFloatColumn(c.Name, v)
+	default:
+		v := append([]string(nil), c.Strings...)
+		for i := 0; i < n; i++ {
+			if !hit(i) {
+				continue
+			}
+			if rng.Intn(2) == 0 {
+				v[i] = c.Strings[rng.Intn(n)]
+			} else {
+				v[i] = stringTypo(v[i], rng)
+			}
+		}
+		return dataset.NewStringColumn(c.Name, v)
+	}
+}
+
+// intTypo perturbs one decimal digit, the numeric analogue of a typo.
+func intTypo(v int64, rng *rand.Rand) int64 {
+	s := strconv.FormatInt(v, 10)
+	b := []byte(s)
+	pos := rng.Intn(len(b))
+	if b[pos] < '0' || b[pos] > '9' {
+		return v + int64(1+rng.Intn(9))
+	}
+	b[pos] = byte('0' + rng.Intn(10))
+	out, err := strconv.ParseInt(string(b), 10, 64)
+	if err != nil || out == v {
+		return v + int64(1+rng.Intn(9))
+	}
+	return out
+}
+
+// stringTypo flips one character (or appends one to an empty string).
+func stringTypo(s string, rng *rand.Rand) string {
+	const letters = "abcdefghijklmnopqrstuvwxyz"
+	if s == "" {
+		return string(letters[rng.Intn(len(letters))])
+	}
+	b := []byte(s)
+	pos := rng.Intn(len(b))
+	old := b[pos]
+	for {
+		c := letters[rng.Intn(len(letters))]
+		if c != old {
+			b[pos] = c
+			break
+		}
+	}
+	return string(b)
+}

@@ -1,0 +1,67 @@
+// Package datagen provides the datasets of the paper's evaluation
+// (Table 4) as calibrated synthetic generators, the running example of
+// Table 1, golden DCs for each dataset, and the noise models of
+// Section 8.4. Real datasets (SP Stock, Hospital, Food, Airport, Adult,
+// Flight, NCVoter) are not redistributable here; the generators preserve
+// the attribute counts, types, golden-DC structure, and violation
+// placement that the paper's experiments exercise. See DESIGN.md,
+// "Substitutions".
+package datagen
+
+import (
+	"adc/internal/dataset"
+	"adc/internal/predicate"
+)
+
+// RunningExample returns the 15-tuple Tax relation of Table 1 of the
+// paper. Tests use it to check the concrete counts of Examples 1.1, 1.2
+// and 3.1.
+func RunningExample() *dataset.Relation {
+	return dataset.MustNewRelation("running_example", []*dataset.Column{
+		dataset.NewStringColumn("Name", []string{
+			"Alice", "Mark", "Bob", "Mary", "Alice",
+			"Julia", "Jimmy", "Sam", "Jeff", "Gary",
+			"Ron", "Jennifer", "Adam", "Tim", "Sarah",
+		}),
+		dataset.NewStringColumn("State", []string{
+			"NY", "NY", "NY", "NY", "NY",
+			"WA", "WA", "WA", "WA", "WA",
+			"WA", "WA", "WA", "IL", "IL",
+		}),
+		dataset.NewIntColumn("Zip", []int64{
+			11803, 10102, 13914, 10437, 10437,
+			98112, 98112, 98112, 98112, 98112,
+			98112, 98112, 98112, 62078, 98112,
+		}),
+		dataset.NewIntColumn("Income", []int64{
+			28000, 42000, 93000, 58000, 26000,
+			27000, 24000, 49000, 56000, 50000,
+			58000, 61000, 20000, 39000, 54000,
+		}),
+		dataset.NewIntColumn("Tax", []int64{
+			2400, 4700, 11800, 6700, 2100,
+			1400, 1600, 6800, 7800, 7200,
+			8000, 8500, 1000, 5000, 5000,
+		}),
+	})
+}
+
+// Phi1 is the DC of Example 1.1: for a given state, higher income
+// implies higher tax.
+// ∀t,t'¬(t[State] = t'[State] ∧ t[Income] > t'[Income] ∧ t[Tax] ≤ t'[Tax]).
+func Phi1() predicate.DCSpec {
+	return predicate.DCSpec{
+		{A: "State", B: "State", Op: predicate.Eq, Cross: true},
+		{A: "Income", B: "Income", Op: predicate.Gt, Cross: true},
+		{A: "Tax", B: "Tax", Op: predicate.Leq, Cross: true},
+	}
+}
+
+// Phi2 is the DC of Example 1.2: the same zip code cannot appear in two
+// different states. ∀t,t'¬(t[Zip] = t'[Zip] ∧ t[State] ≠ t'[State]).
+func Phi2() predicate.DCSpec {
+	return predicate.DCSpec{
+		{A: "Zip", B: "Zip", Op: predicate.Eq, Cross: true},
+		{A: "State", B: "State", Op: predicate.Neq, Cross: true},
+	}
+}

@@ -1,0 +1,89 @@
+package evidence_test
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"adc/internal/datagen"
+	"adc/internal/evidence"
+	"adc/internal/predicate"
+)
+
+func TestParallelMatchesFastOnRunningExample(t *testing.T) {
+	space := predicate.Build(datagen.RunningExample(), predicate.DefaultOptions())
+	fast, err := evidence.FastBuilder{}.Build(space, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{0, 1, 2, 3, 7, 100} {
+		par, err := evidence.ParallelBuilder{Workers: workers}.Build(space, true)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		fm, pm := asMultiset(fast), asMultiset(par)
+		if len(fm) != len(pm) {
+			t.Fatalf("workers=%d: distinct sets %d vs %d", workers, len(pm), len(fm))
+		}
+		for k, c := range fm {
+			if pm[k] != c {
+				t.Fatalf("workers=%d: multiplicity mismatch", workers)
+			}
+		}
+		if par.TotalPairs != fast.TotalPairs {
+			t.Fatalf("workers=%d: TotalPairs differ", workers)
+		}
+		// Vios must merge to the same totals.
+		var fv, pv int64
+		for k := range fast.Vios {
+			for _, c := range fast.Vios[k] {
+				fv += c
+			}
+		}
+		for k := range par.Vios {
+			for _, c := range par.Vios[k] {
+				pv += c
+			}
+		}
+		if fv != pv {
+			t.Fatalf("workers=%d: vios totals %d vs %d", workers, pv, fv)
+		}
+	}
+}
+
+func TestQuickParallelMatchesFast(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		rel := randomRelation(r)
+		space := predicate.Build(rel, predicate.DefaultOptions())
+		fast, err := evidence.FastBuilder{}.Build(space, true)
+		if err != nil {
+			return false
+		}
+		par, err := evidence.ParallelBuilder{Workers: 1 + r.Intn(6)}.Build(space, true)
+		if err != nil {
+			return false
+		}
+		fm, pm := asMultiset(fast), asMultiset(par)
+		if len(fm) != len(pm) {
+			return false
+		}
+		for k, c := range fm {
+			if pm[k] != c {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParallelTooFewRows(t *testing.T) {
+	rel := datagen.RunningExample().Project([]int{0})
+	space := predicate.Build(rel, predicate.DefaultOptions())
+	if _, err := (evidence.ParallelBuilder{}).Build(space, false); err == nil {
+		t.Error("want error on single-row relation")
+	}
+}

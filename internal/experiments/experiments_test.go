@@ -1,0 +1,99 @@
+package experiments_test
+
+import (
+	"strings"
+	"testing"
+
+	"adc/internal/experiments"
+)
+
+// tiny returns a configuration small enough for unit tests: every
+// runner must finish in seconds and produce plausible rows.
+func tiny(datasets ...string) (experiments.Config, *strings.Builder) {
+	var sb strings.Builder
+	if len(datasets) == 0 {
+		datasets = []string{"stock", "adult"}
+	}
+	return experiments.Config{
+		Rows:          50,
+		Seed:          1,
+		MaxPredicates: 2,
+		Datasets:      datasets,
+		Out:           &sb,
+	}, &sb
+}
+
+func TestAllRunnersComplete(t *testing.T) {
+	for _, r := range experiments.All() {
+		r := r
+		t.Run(r.Name, func(t *testing.T) {
+			cfg, sb := tiny()
+			if err := r.Run(cfg); err != nil {
+				t.Fatalf("%s: %v", r.Name, err)
+			}
+			out := sb.String()
+			if len(out) < 40 {
+				t.Fatalf("%s produced almost no output:\n%s", r.Name, out)
+			}
+			for _, ds := range cfg.Datasets {
+				if r.Name == "fig10" {
+					continue // fig10 uses its own fixed dataset list
+				}
+				if !strings.Contains(out, ds) {
+					t.Errorf("%s output missing dataset %q", r.Name, ds)
+				}
+			}
+		})
+	}
+}
+
+func TestByName(t *testing.T) {
+	if _, err := experiments.ByName("fig6"); err != nil {
+		t.Error(err)
+	}
+	if _, err := experiments.ByName("fig99"); err == nil {
+		t.Error("want error for unknown experiment")
+	}
+}
+
+func TestTable4ReportsShapes(t *testing.T) {
+	cfg, sb := tiny("stock")
+	if err := experiments.Table4(cfg); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "123000") {
+		t.Errorf("Table 4 missing paper size:\n%s", out)
+	}
+}
+
+func TestFig6NoOutputMismatch(t *testing.T) {
+	cfg, sb := tiny("stock", "adult")
+	if err := experiments.Fig6(cfg); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(sb.String(), "WARNING") {
+		t.Errorf("ADCEnum and SearchMC disagreed:\n%s", sb.String())
+	}
+}
+
+func TestFig14ReportsBestThresholds(t *testing.T) {
+	cfg, sb := tiny("stock")
+	if err := experiments.Fig14(cfg); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "Best-threshold average G-recall") {
+		t.Errorf("Fig14 missing summary:\n%s", out)
+	}
+	if !strings.Contains(out, "spread") || !strings.Contains(out, "skewed") {
+		t.Errorf("Fig14 missing noise kinds:\n%s", out)
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	cfg := experiments.Config{}.Defaults()
+	if cfg.Rows == 0 || cfg.MaxPredicates == 0 || cfg.Out == nil || len(cfg.Datasets) != 8 {
+		t.Errorf("Defaults incomplete: %+v", cfg)
+	}
+}

@@ -1,0 +1,157 @@
+package experiments
+
+import (
+	"math"
+	"strconv"
+
+	"adc"
+	"adc/internal/approx"
+	"adc/internal/metrics"
+)
+
+// Fig11 measures the quality of ADCs mined from a sample against those
+// mined from the full dataset, as F1 score: first sweeping the sample
+// size at fixed ε ∈ {0.01, 0.1}, then sweeping the threshold at fixed
+// sample sizes 30% and 40%, for all three approximation functions.
+func Fig11(cfg Config) error {
+	cfg = cfg.Defaults()
+	sizes := []float64{0.05, 0.1, 0.2, 0.3, 0.4}
+	thresholds := []float64{0.01, 0.05, 0.1, 0.15, 0.2}
+	fns := []string{"f1", "f2", "f3"}
+
+	cfg.printf("Figure 11: F1 of sample-mined vs full-mined ADCs\n")
+	for _, d := range cfg.datasets() {
+		refs := map[string]map[string]bool{} // fn|eps -> canonical keys
+		ref := func(fn string, eps float64) (map[string]bool, error) {
+			key := fn + "|" + fmtEps(eps)
+			if r, ok := refs[key]; ok {
+				return r, nil
+			}
+			res, err := adc.Mine(d.Rel, cfg.mineOpts(fn, eps))
+			if err != nil {
+				return nil, err
+			}
+			refs[key] = keySetOf(res.DCs)
+			return refs[key], nil
+		}
+
+		cfg.printf("-- %s: F1 vs sample size (rows=%d)\n", d.Name, d.Rel.NumRows())
+		cfg.printf("%-5s %-6s %s\n", "func", "eps", "sample->F1")
+		for _, fn := range fns {
+			for _, eps := range []float64{0.01, 0.1} {
+				full, err := ref(fn, eps)
+				if err != nil {
+					return err
+				}
+				cfg.printf("%-5s %-6s", fn, fmtEps(eps))
+				for _, frac := range sizes {
+					opts := cfg.mineOpts(fn, eps)
+					opts.SampleFraction = frac
+					res, err := adc.Mine(d.Rel, opts)
+					if err != nil {
+						return err
+					}
+					cfg.printf("  %3.0f%%:%.2f", frac*100, metrics.F1(keySetOf(res.DCs), full))
+				}
+				cfg.printf("\n")
+			}
+		}
+
+		cfg.printf("-- %s: F1 vs threshold (sample fixed)\n", d.Name)
+		cfg.printf("%-5s %-7s %s\n", "func", "sample", "eps->F1")
+		for _, fn := range fns {
+			for _, frac := range []float64{0.3, 0.4} {
+				cfg.printf("%-5s %6.0f%%", fn, frac*100)
+				for _, eps := range thresholds {
+					full, err := ref(fn, eps)
+					if err != nil {
+						return err
+					}
+					opts := cfg.mineOpts(fn, eps)
+					opts.SampleFraction = frac
+					res, err := adc.Mine(d.Rel, opts)
+					if err != nil {
+						return err
+					}
+					cfg.printf("  %.2f:%.2f", eps, metrics.F1(keySetOf(res.DCs), full))
+				}
+				cfg.printf("\n")
+			}
+		}
+	}
+	return nil
+}
+
+// Fig12 reports the total mining time for sample sizes 20%..100% per
+// dataset — the headline "sampling cuts runtime by up to 90%+" result.
+func Fig12(cfg Config) error {
+	cfg = cfg.Defaults()
+	fractions := []float64{0.2, 0.4, 0.6, 0.8, 1.0}
+	cfg.printf("Figure 12: total runtime (ms) vs sample size, f1, eps=0.1\n")
+	cfg.printf("%-10s", "dataset")
+	for _, f := range fractions {
+		cfg.printf(" %9.0f%%", f*100)
+	}
+	cfg.printf(" %9s\n", "reduction")
+	for _, d := range cfg.datasets() {
+		cfg.printf("%-10s", d.Name)
+		var first, last float64
+		for i, frac := range fractions {
+			opts := cfg.mineOpts("f1", 0.1)
+			opts.SampleFraction = frac
+			res, err := adc.Mine(d.Rel, opts)
+			if err != nil {
+				return err
+			}
+			t := ms(res.Total)
+			if i == 0 {
+				first = t
+			}
+			last = t
+			cfg.printf(" %10.2f", t)
+		}
+		cfg.printf(" %8.0f%%\n", 100*(1-first/last))
+	}
+	return nil
+}
+
+// Fig13 validates the Section 7 analysis: the average ε − p̂ over the
+// ADCs discovered from a sample decreases with the sample size, and
+// scaled by sqrt(n) (n = ordered pairs of the sample) it is roughly
+// constant — the (ε − p̂) ~ 1/sqrt(n) asymptotic the paper reports.
+func Fig13(cfg Config) error {
+	cfg = cfg.Defaults()
+	const eps = 0.05
+	fractions := []float64{0.05, 0.1, 0.2, 0.4, 0.6, 0.8}
+	cfg.printf("Figure 13: avg eps - p_hat over discovered ADCs, f1, eps=%.2f\n", eps)
+	cfg.printf("%-10s %8s %12s %14s\n", "dataset", "sample", "eps-p_hat", "(eps-p_hat)*sqrt(n)")
+	for _, d := range cfg.datasets() {
+		for _, frac := range fractions {
+			opts := cfg.mineOpts("f1", eps)
+			opts.SampleFraction = frac
+			res, err := adc.Mine(d.Rel, opts)
+			if err != nil {
+				return err
+			}
+			if len(res.DCs) == 0 {
+				cfg.printf("%-10s %7.0f%% %12s %14s\n", d.Name, frac*100, "n/a", "n/a")
+				continue
+			}
+			var sum float64
+			for _, dc := range res.DCs {
+				pHat := adc.Loss(approx.F1{}, res.Evidence, dc)
+				sum += eps - pHat
+			}
+			avg := sum / float64(len(res.DCs))
+			n := float64(res.SampleRows) * float64(res.SampleRows-1)
+			cfg.printf("%-10s %7.0f%% %12.5f %14.3f\n", d.Name, frac*100, avg, avg*math.Sqrt(n))
+		}
+	}
+	return nil
+}
+
+// fmtEps renders a threshold compactly ("0.01", "1e-05") for use in
+// reference-cache keys and printed rows.
+func fmtEps(eps float64) string {
+	return strconv.FormatFloat(eps, 'g', -1, 64)
+}

@@ -1,0 +1,749 @@
+// Package hitset implements the two hitting-set enumerators of the
+// paper: MMCS, the exact minimal-hitting-set algorithm of Murakami and
+// Uno (Figure 3), and ADCEnum, the paper's algorithm for enumerating
+// minimal *approximate* hitting sets (Figures 4 and 5). Both operate on
+// an evidence set (package evidence): the elements of the universe are
+// predicate IDs and the subsets to hit are the distinct evidence sets,
+// weighted by multiplicity.
+//
+// As the paper notes (Section 6), ADCEnum is a general algorithm for
+// enumerating minimal approximate hitting sets and is usable outside
+// constraint discovery: build the input with evidence.FromSets and leave
+// the predicate space nil, which disables the DC-specific
+// operator-variant pruning.
+package hitset
+
+import (
+	"adc/internal/approx"
+	"adc/internal/bitset"
+	"adc/internal/evidence"
+	"math"
+	"sort"
+)
+
+// Stats reports the work done by an enumeration run.
+type Stats struct {
+	// Calls counts recursive invocations (both branches), the metric of
+	// the Figure 10 ablation.
+	Calls int64
+	// Outputs counts emitted (approximate) hitting sets.
+	Outputs int64
+	// LossEvals counts approximation-function evaluations.
+	LossEvals int64
+}
+
+// Options configures ADCEnum.
+type Options struct {
+	// Func is the approximation function; required.
+	Func approx.Func
+	// Epsilon is the approximation threshold ε ≥ 0 (Definition 4.4).
+	Epsilon float64
+	// ChooseMinIntersection selects, at each node, the uncovered set with
+	// the minimum intersection with the candidate list, as Murakami and
+	// Uno suggest. The default (false) picks the maximum intersection,
+	// the paper's improvement evaluated in Figure 10.
+	ChooseMinIntersection bool
+	// KeepOperatorVariants retains predicates over the same attribute
+	// pair as a chosen predicate in the candidate list. The default
+	// (false) removes them, as in Section 6.2, avoiding trivial DCs like
+	// not(t.A < t'.A and t.A >= t'.A). Ignored when the evidence set has
+	// no predicate space.
+	KeepOperatorVariants bool
+	// MaxPredicates bounds the hitting-set size (DC length); 0 means
+	// unbounded.
+	MaxPredicates int
+}
+
+// EnumerateADC runs ADCEnum over the evidence set and calls emit with
+// every minimal approximate hitting set w.r.t. opts.Func and
+// opts.Epsilon. The bitset passed to emit is reused; clone it to retain.
+// Theorem 6.1: every emitted set is a minimal ADC hitting set, all of
+// them are emitted, and each exactly once.
+func EnumerateADC(ev *evidence.Set, opts Options, emit func(hs bitset.Bits)) Stats {
+	st := newState(ev, opts)
+	st.emit = emit
+	st.adcEnum()
+	return st.stats
+}
+
+// EnumerateMinimal runs the exact MMCS algorithm and calls emit with
+// every minimal hitting set of the evidence set (equivalently, every
+// minimal valid DC's complement set). The bitset passed to emit is
+// reused; clone it to retain.
+func EnumerateMinimal(ev *evidence.Set, opts Options, emit func(hs bitset.Bits)) Stats {
+	st := newState(ev, opts)
+	st.emit = emit
+	st.mmcs()
+	return st.stats
+}
+
+// state carries the shared bookkeeping of Figures 3 and 4: uncov, cand,
+// crit, canHit, and the growing hitting set S, all with undo logs so the
+// recursion restores them exactly as the pseudo-code's "recover" lines
+// require.
+type state struct {
+	ev    *evidence.Set
+	opts  Options
+	emit  func(bitset.Bits)
+	stats Stats
+
+	universe int
+	sets     []bitset.Bits
+
+	uncov       []int // indexes of sets not yet hit by S
+	uncovPos    []int // position of set k in uncov, or -1
+	uncovWeight int64 // sum of multiplicities over uncov
+	canHit      []bool
+	crit        [][]int // crit[e]: sets for which e is critical
+	cand        bitset.Bits
+	s           []int       // the growing hitting set S
+	sBits       bitset.Bits // same as s, as a bitset
+
+	// occ[e] lists the distinct sets containing element e, so that
+	// adding an element touches only its own occurrences instead of
+	// scanning all of uncov — the O(‖M‖)-per-iteration bound of
+	// Murakami and Uno. For ubiquitous elements updateCritUncov falls
+	// back to scanning uncov and the crit lists, whichever is cheaper.
+	occ [][]int32
+	// critFor[k] is the element set k is critical for, else -1;
+	// critPos[k] is k's position inside crit[critFor[k]].
+	critFor []int32
+	critPos []int32
+	// critTotal is the summed length of all crit lists, maintained so
+	// updateCritUncov can cost its two strategies.
+	critTotal int
+	// logs pools one undo log per recursion depth, reused across the
+	// candidate loop to avoid per-call allocation.
+	logs []addLog
+
+	// fastPair is set when the approximation function depends only on
+	// the violating-pair count (F1, F1Adjusted): its loss is then
+	// computed in O(1) from uncovWeight instead of rescanning uncov.
+	fastPair bool
+	adjustZ  float64 // z of F1Adjusted; 0 for plain F1
+
+	// fastTuple is set for the built-in tuple-based functions (F2,
+	// GreedyF3): per-tuple violation counts are maintained
+	// incrementally as sets move in and out of uncov, the same
+	// bookkeeping idea the paper applies to f1 (Section 5), so their
+	// losses avoid rescanning every uncovered set's vios.
+	fastTuple bool
+	isF3      bool
+	viosList  [][]tupleCount // per distinct set: (tuple, participation)
+	vioCount  []int64        // per tuple: participation over uncov
+	nonzero   int            // tuples with vioCount > 0
+	scratch   []int64        // per-tuple delta workspace for loss(extra)
+	order     []tupleCount   // reusable sort buffer for greedy f3
+}
+
+// tupleCount is one entry of a distinct evidence set's vios map.
+type tupleCount struct {
+	t int32
+	c int64
+}
+
+func newState(ev *evidence.Set, opts Options) *state {
+	universe := universeSize(ev)
+	st := &state{
+		ev:       ev,
+		opts:     opts,
+		universe: universe,
+		sets:     ev.Sets,
+		uncovPos: make([]int, len(ev.Sets)),
+		canHit:   make([]bool, len(ev.Sets)),
+		crit:     make([][]int, universe),
+		cand:     bitset.New(universe),
+		sBits:    bitset.New(universe),
+		occ:      make([][]int32, universe),
+		critFor:  make([]int32, len(ev.Sets)),
+		critPos:  make([]int32, len(ev.Sets)),
+	}
+	for k := range ev.Sets {
+		st.uncov = append(st.uncov, k)
+		st.uncovPos[k] = k
+		st.uncovWeight += ev.Counts[k]
+		st.canHit[k] = true
+		st.critFor[k] = -1
+		ev.Sets[k].ForEach(func(e int) {
+			st.occ[e] = append(st.occ[e], int32(k))
+		})
+	}
+	for e := 0; e < universe; e++ {
+		st.cand.Set(e)
+	}
+	switch f := opts.Func.(type) {
+	case approx.F1:
+		st.fastPair = true
+	case approx.F1Adjusted:
+		st.fastPair = true
+		st.adjustZ = f.Z
+	case approx.F2:
+		st.initFastTuple(false)
+	case approx.GreedyF3:
+		st.initFastTuple(true)
+	}
+	return st
+}
+
+// initFastTuple switches on incremental per-tuple violation counts.
+func (st *state) initFastTuple(isF3 bool) {
+	if !st.ev.HasVios() || st.ev.NumRows == 0 {
+		return // generic path; the function will report the problem
+	}
+	st.fastTuple = true
+	st.isF3 = isF3
+	st.viosList = make([][]tupleCount, len(st.ev.Sets))
+	st.vioCount = make([]int64, st.ev.NumRows)
+	st.scratch = make([]int64, st.ev.NumRows)
+	for k, m := range st.ev.Vios {
+		list := make([]tupleCount, 0, len(m))
+		for t, c := range m {
+			list = append(list, tupleCount{t, c})
+		}
+		st.viosList[k] = list
+		for _, tc := range list {
+			if st.vioCount[tc.t] == 0 {
+				st.nonzero++
+			}
+			st.vioCount[tc.t] += tc.c
+		}
+	}
+}
+
+func universeSize(ev *evidence.Set) int {
+	if ev.Space != nil {
+		return ev.Space.Size()
+	}
+	max := 0
+	for _, s := range ev.Sets {
+		if n := len(s) * 64; n > max {
+			max = n
+		}
+	}
+	return max
+}
+
+// ---- uncov maintenance -------------------------------------------------
+
+func (st *state) uncovRemove(k int) {
+	pos := st.uncovPos[k]
+	last := len(st.uncov) - 1
+	moved := st.uncov[last]
+	st.uncov[pos] = moved
+	st.uncovPos[moved] = pos
+	st.uncov = st.uncov[:last]
+	st.uncovPos[k] = -1
+	st.uncovWeight -= st.ev.Counts[k]
+	if st.fastTuple {
+		for _, tc := range st.viosList[k] {
+			st.vioCount[tc.t] -= tc.c
+			if st.vioCount[tc.t] == 0 {
+				st.nonzero--
+			}
+		}
+	}
+}
+
+func (st *state) uncovAdd(k int) {
+	st.uncovPos[k] = len(st.uncov)
+	st.uncov = append(st.uncov, k)
+	st.uncovWeight += st.ev.Counts[k]
+	if st.fastTuple {
+		for _, tc := range st.viosList[k] {
+			if st.vioCount[tc.t] == 0 {
+				st.nonzero++
+			}
+			st.vioCount[tc.t] += tc.c
+		}
+	}
+}
+
+// critChange records the removal of set f from crit[u].
+type critChange struct{ u, f int }
+
+// addLog is the undo record of one UpdateCritUncov call.
+type addLog struct {
+	covered []int // sets moved from uncov to crit[e]
+	stolen  []critChange
+}
+
+// critAppend adds set k to crit[u], maintaining the position index.
+func (st *state) critAppend(u, k int) {
+	st.critFor[k] = int32(u)
+	st.critPos[k] = int32(len(st.crit[u]))
+	st.crit[u] = append(st.crit[u], k)
+	st.critTotal++
+}
+
+// critRemove removes set k from crit[critFor[k]] in O(1).
+func (st *state) critRemove(k int) {
+	u := int(st.critFor[k])
+	pos := int(st.critPos[k])
+	cu := st.crit[u]
+	last := len(cu) - 1
+	moved := cu[last]
+	cu[pos] = moved
+	st.critPos[moved] = int32(pos)
+	st.crit[u] = cu[:last]
+	st.critFor[k] = -1
+	st.critTotal--
+}
+
+// logAt returns the pooled undo log for recursion depth d, emptied.
+func (st *state) logAt(d int) *addLog {
+	for len(st.logs) <= d {
+		st.logs = append(st.logs, addLog{})
+	}
+	log := &st.logs[d]
+	log.covered = log.covered[:0]
+	log.stolen = log.stolen[:0]
+	return log
+}
+
+// updateCritUncov is the subroutine of Figure 3: move every uncovered
+// set containing e into crit[e], and remove from crit[u] (u ∈ S) every
+// set containing e. Covered and stolen sets are recorded in the pooled
+// log for depth d. Sets covered twice or more need no bookkeeping at
+// all, so the cheaper of two strategies is used: walking e's occurrence
+// list, or walking uncov plus the current crit lists (better for
+// ubiquitous elements deep in the recursion, where few sets remain
+// uncovered or critical).
+func (st *state) updateCritUncov(e, d int) *addLog {
+	log := st.logAt(d)
+	if len(st.occ[e]) <= len(st.uncov)+st.critTotal {
+		for _, k32 := range st.occ[e] {
+			k := int(k32)
+			if st.uncovPos[k] >= 0 {
+				st.uncovRemove(k)
+				st.critAppend(e, k)
+				log.covered = append(log.covered, k)
+			} else if u := st.critFor[k]; u >= 0 && int(u) != e {
+				st.critRemove(k)
+				log.stolen = append(log.stolen, critChange{int(u), k})
+			}
+		}
+		return log
+	}
+	for i := 0; i < len(st.uncov); {
+		k := st.uncov[i]
+		if st.sets[k].Test(e) {
+			st.uncovRemove(k) // swap-remove: same index now holds a new set
+			st.critAppend(e, k)
+			log.covered = append(log.covered, k)
+			continue
+		}
+		i++
+	}
+	for _, u := range st.s {
+		// Index st.crit[u] directly: critRemove swap-removes in place.
+		for i := 0; i < len(st.crit[u]); {
+			k := st.crit[u][i]
+			if st.sets[k].Test(e) {
+				st.critRemove(k)
+				log.stolen = append(log.stolen, critChange{u, k})
+				continue
+			}
+			i++
+		}
+	}
+	return log
+}
+
+// undoCritUncov reverses updateCritUncov(e, d).
+func (st *state) undoCritUncov(log *addLog) {
+	for i := len(log.stolen) - 1; i >= 0; i-- {
+		c := log.stolen[i]
+		st.critAppend(c.u, c.f)
+	}
+	for i := len(log.covered) - 1; i >= 0; i-- {
+		k := log.covered[i]
+		st.critRemove(k)
+		st.uncovAdd(k)
+	}
+}
+
+// critNonEmptyForAll reports whether every element of S is still
+// critical for at least one set (the minimality precondition of
+// Figure 3, line 9 / Figure 4, line 17).
+func (st *state) critNonEmptyForAll() bool {
+	for _, u := range st.s {
+		if len(st.crit[u]) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// chooseScanLimit bounds how many eligible sets chooseUncov examines.
+// The choice of set is a performance heuristic, not a correctness
+// requirement (any uncovered set works), so scanning a bounded prefix
+// keeps the per-node cost constant on large evidence sets while
+// preserving the max/min-intersection preference among the scanned ones.
+const chooseScanLimit = 64
+
+// chooseUncov picks the next set to hit: among uncovered sets
+// (restricted to canHit=true for ADCEnum when restrict is set), the one
+// with the max (or min) intersection with cand among a bounded scan.
+// Returns -1 if none qualifies.
+func (st *state) chooseUncov(restrict bool) int {
+	best, bestN := -1, -1
+	scanned := 0
+	for _, k := range st.uncov {
+		if restrict && !st.canHit[k] {
+			continue
+		}
+		n := st.sets[k].IntersectionCount(st.cand)
+		if best == -1 {
+			best, bestN = k, n
+		} else if st.opts.ChooseMinIntersection {
+			if n < bestN {
+				best, bestN = k, n
+			}
+		} else if n > bestN {
+			best, bestN = k, n
+		}
+		scanned++
+		if scanned >= chooseScanLimit {
+			break
+		}
+	}
+	return best
+}
+
+// candidatesIn returns C = cand ∩ F as a slice of elements.
+func (st *state) candidatesIn(k int) []int {
+	var c []int
+	st.sets[k].ForEach(func(e int) {
+		if st.cand.Test(e) {
+			c = append(c, e)
+		}
+	})
+	return c
+}
+
+// ---- MMCS (Figure 3) ----------------------------------------------------
+
+func (st *state) mmcs() {
+	st.stats.Calls++
+	if len(st.uncov) == 0 {
+		st.stats.Outputs++
+		st.emit(st.sBits)
+		return
+	}
+	if st.opts.MaxPredicates > 0 && len(st.s) >= st.opts.MaxPredicates {
+		return
+	}
+	f := st.chooseUncov(false)
+	c := st.candidatesIn(f)
+	for _, e := range c {
+		st.cand.Clear(e)
+	}
+	for _, e := range c {
+		log := st.updateCritUncov(e, len(st.s))
+		if st.critNonEmptyForAll() && len(st.crit[e]) > 0 {
+			variants := st.removeOperatorVariants(e)
+			st.push(e)
+			st.mmcs()
+			st.pop(e)
+			for _, m := range variants {
+				st.cand.Set(m)
+			}
+			st.cand.Set(e)
+		}
+		st.undoCritUncov(log)
+	}
+	for _, e := range c {
+		st.cand.Set(e)
+	}
+}
+
+func (st *state) push(e int) {
+	st.s = append(st.s, e)
+	st.sBits.Set(e)
+}
+
+func (st *state) pop(e int) {
+	st.s = st.s[:len(st.s)-1]
+	st.sBits.Clear(e)
+}
+
+// ---- ADCEnum (Figures 4 and 5) -------------------------------------------
+
+// loss evaluates 1 − f(D, S′) for the DC whose uncovered sets are the
+// current uncov plus extra. Pair-counting functions use the maintained
+// uncovWeight and run in O(|extra|).
+func (st *state) loss(extra []int) float64 {
+	st.stats.LossEvals++
+	if st.fastPair {
+		viol := st.uncovWeight
+		for _, k := range extra {
+			viol += st.ev.Counts[k]
+		}
+		return st.pairLoss(viol)
+	}
+	if st.fastTuple {
+		return st.tupleLoss(extra)
+	}
+	if len(extra) == 0 {
+		return st.opts.Func.Loss(st.ev, st.uncov)
+	}
+	merged := make([]int, 0, len(st.uncov)+len(extra))
+	merged = append(merged, st.uncov...)
+	merged = append(merged, extra...)
+	return st.opts.Func.Loss(st.ev, merged)
+}
+
+// tupleLoss computes the F2 or greedy-F3 loss for uncov plus the
+// (disjoint) extra sets from the maintained per-tuple counts, matching
+// approx.F2 / approx.GreedyF3 exactly. The extra deltas are staged in
+// scratch and rolled back through the touched list.
+func (st *state) tupleLoss(extra []int) float64 {
+	n := st.ev.NumRows
+	var touched []int32
+	involved := st.nonzero
+	for _, k := range extra {
+		for _, tc := range st.viosList[k] {
+			if st.vioCount[tc.t]+st.scratch[tc.t] == 0 {
+				involved++
+			}
+			if st.scratch[tc.t] == 0 {
+				touched = append(touched, tc.t)
+			}
+			st.scratch[tc.t] += tc.c
+		}
+	}
+	var result float64
+	if !st.isF3 {
+		result = float64(involved) / float64(n)
+	} else {
+		result = st.greedyF3(extra)
+	}
+	for _, t := range touched {
+		st.scratch[t] = 0
+	}
+	return result
+}
+
+// greedyF3 is Figure 2's algorithm over the maintained counts: sort the
+// involved tuples by violation participation, take tuples until the
+// covered count reaches the total violating pairs, return |R|/|D|.
+// Assumes scratch already holds the extra deltas.
+func (st *state) greedyF3(extra []int) float64 {
+	u := st.uncovWeight
+	for _, k := range extra {
+		u += st.ev.Counts[k]
+	}
+	if u == 0 {
+		return 0
+	}
+	st.order = st.order[:0]
+	for t := range st.vioCount {
+		if v := st.vioCount[t] + st.scratch[t]; v > 0 {
+			st.order = append(st.order, tupleCount{int32(t), v})
+		}
+	}
+	sort.Slice(st.order, func(a, b int) bool { return st.order[a].c > st.order[b].c })
+	var covered int64
+	removed := 0
+	for _, tc := range st.order {
+		if covered >= u {
+			break
+		}
+		covered += tc.c
+		removed++
+	}
+	return float64(removed) / float64(st.ev.NumRows)
+}
+
+// pairLoss maps a violating-pair count to the loss of F1 (or
+// F1Adjusted when adjustZ is set), mirroring the approx package.
+func (st *state) pairLoss(viol int64) float64 {
+	if st.ev.TotalPairs == 0 {
+		return 0
+	}
+	n := float64(st.ev.TotalPairs)
+	p := float64(viol) / n
+	if st.adjustZ == 0 {
+		return p
+	}
+	l := p + st.adjustZ*math.Sqrt(p*(1-p)/n)
+	if l > 1 {
+		return 1
+	}
+	return l
+}
+
+// isMinimal is the subroutine of Figure 5: S is minimal iff no single
+// deletion keeps the loss within ε. The uncovered sets of S \ {u} are
+// uncov ∪ crit[u]. Monotonicity makes single deletions sufficient.
+func (st *state) isMinimal() bool {
+	for _, u := range st.s {
+		if st.loss(st.crit[u]) <= st.opts.Epsilon {
+			return false
+		}
+	}
+	return true
+}
+
+// willCover is the subroutine of Figure 5: the best any extension of S
+// by remaining candidates can do is cover every uncovered set that still
+// intersects cand; the sets that cannot be hit are exactly those marked
+// canHit=false (the caller runs updateCanHit first). If even that loss
+// exceeds ε, monotonicity prunes the branch.
+func (st *state) willCover() bool {
+	st.stats.LossEvals++
+	if st.fastPair {
+		var viol int64
+		for _, k := range st.uncov {
+			if !st.canHit[k] {
+				viol += st.ev.Counts[k]
+			}
+		}
+		return st.pairLoss(viol) <= st.opts.Epsilon
+	}
+	var unhittable []int
+	for _, k := range st.uncov {
+		if !st.canHit[k] {
+			unhittable = append(unhittable, k)
+		}
+	}
+	if st.fastTuple {
+		return st.lossOver(unhittable) <= st.opts.Epsilon
+	}
+	return st.opts.Func.Loss(st.ev, unhittable) <= st.opts.Epsilon
+}
+
+// lossOver computes the F2/greedy-F3 loss of exactly the given sets
+// (not uncov ∪ extra) using the scratch workspace, avoiding the
+// per-call map allocation of the generic functions.
+func (st *state) lossOver(setIdxs []int) float64 {
+	var touched []int32
+	involved := 0
+	var u int64
+	for _, k := range setIdxs {
+		u += st.ev.Counts[k]
+		for _, tc := range st.viosList[k] {
+			if st.scratch[tc.t] == 0 {
+				involved++
+				touched = append(touched, tc.t)
+			}
+			st.scratch[tc.t] += tc.c
+		}
+	}
+	var result float64
+	if !st.isF3 {
+		result = float64(involved) / float64(st.ev.NumRows)
+	} else if u == 0 {
+		result = 0
+	} else {
+		st.order = st.order[:0]
+		for _, t := range touched {
+			st.order = append(st.order, tupleCount{t, st.scratch[t]})
+		}
+		sort.Slice(st.order, func(a, b int) bool { return st.order[a].c > st.order[b].c })
+		var covered int64
+		removed := 0
+		for _, tc := range st.order {
+			if covered >= u {
+				break
+			}
+			covered += tc.c
+			removed++
+		}
+		result = float64(removed) / float64(st.ev.NumRows)
+	}
+	for _, t := range touched {
+		st.scratch[t] = 0
+	}
+	return result
+}
+
+// updateCanHit is UpdateCanCover of Figure 5: mark every uncovered set
+// with an empty intersection with cand as unhittable. Returns the sets
+// flipped, for undo.
+func (st *state) updateCanHit() []int {
+	var flipped []int
+	for _, k := range st.uncov {
+		if st.canHit[k] && !st.sets[k].Intersects(st.cand) {
+			st.canHit[k] = false
+			flipped = append(flipped, k)
+		}
+	}
+	return flipped
+}
+
+// removeOperatorVariants drops from cand all predicates that differ
+// from e only by operator (Section 6.2), returning the removed ones.
+func (st *state) removeOperatorVariants(e int) []int {
+	if st.ev.Space == nil || st.opts.KeepOperatorVariants {
+		return nil
+	}
+	var removed []int
+	for _, m := range st.ev.Space.GroupMembers(e) {
+		if m != e && st.cand.Test(m) {
+			st.cand.Clear(m)
+			removed = append(removed, m)
+		}
+	}
+	return removed
+}
+
+func (st *state) adcEnum() {
+	st.stats.Calls++
+	if st.loss(nil) <= st.opts.Epsilon {
+		if st.isMinimal() {
+			st.stats.Outputs++
+			st.emit(st.sBits)
+		}
+		return
+	}
+	if st.opts.MaxPredicates > 0 && len(st.s) >= st.opts.MaxPredicates {
+		return
+	}
+	f := st.chooseUncov(true)
+	if f < 0 {
+		return
+	}
+
+	// Branch 1 (Figure 4, lines 7–12): do not hit F. Remove all of F's
+	// elements from cand, mark newly unhittable sets, and recurse if the
+	// optimistic extension can still reach ε.
+	removedCand := st.candidatesIn(f)
+	for _, e := range removedCand {
+		st.cand.Clear(e)
+	}
+	flipped := st.updateCanHit()
+	if st.willCover() {
+		st.adcEnum()
+	}
+	for _, k := range flipped {
+		st.canHit[k] = true
+	}
+	for _, e := range removedCand {
+		st.cand.Set(e)
+	}
+
+	// Branch 2 (lines 13–22): hit F, exactly as in MMCS, plus the
+	// operator-variant removal of Section 6.2.
+	c := st.candidatesIn(f)
+	for _, e := range c {
+		st.cand.Clear(e)
+	}
+	for _, e := range c {
+		log := st.updateCritUncov(e, len(st.s))
+		if st.critNonEmptyForAll() && len(st.crit[e]) > 0 {
+			variants := st.removeOperatorVariants(e)
+			st.push(e)
+			st.adcEnum()
+			st.pop(e)
+			for _, m := range variants {
+				st.cand.Set(m)
+			}
+			st.cand.Set(e)
+		}
+		st.undoCritUncov(log)
+	}
+	for _, e := range c {
+		st.cand.Set(e)
+	}
+}

@@ -1,0 +1,69 @@
+// Package metrics implements the evaluation measures of Section 8:
+// precision/recall/F1 between two sets of DCs (used to compare ADCs
+// mined from a sample against those mined from the full dataset,
+// Figure 11) and G-recall, the fraction of golden DCs rediscovered
+// (Figure 14). DCs are compared by canonical predicate-set form.
+package metrics
+
+// Canon is any DC-like value comparable by canonical string; both
+// predicate.DC and predicate.DCSpec satisfy it.
+type Canon interface {
+	Canonical() string
+}
+
+// KeySet canonicalizes a slice of DCs into a set of comparison keys.
+func KeySet[T Canon](dcs []T) map[string]bool {
+	out := make(map[string]bool, len(dcs))
+	for _, d := range dcs {
+		out[d.Canonical()] = true
+	}
+	return out
+}
+
+// PrecisionRecallF1 compares mined DCs against a reference set.
+// Precision is |mined ∩ ref| / |mined|, recall |mined ∩ ref| / |ref|,
+// and F1 their harmonic mean (2·P·R/(P+R), the formula of Section 8.3).
+// Degenerate cases: empty mined and empty reference score 1; otherwise
+// an empty side scores 0.
+func PrecisionRecallF1(mined, ref map[string]bool) (p, r, f1 float64) {
+	if len(mined) == 0 && len(ref) == 0 {
+		return 1, 1, 1
+	}
+	hits := 0
+	for k := range mined {
+		if ref[k] {
+			hits++
+		}
+	}
+	if len(mined) > 0 {
+		p = float64(hits) / float64(len(mined))
+	}
+	if len(ref) > 0 {
+		r = float64(hits) / float64(len(ref))
+	}
+	if p+r == 0 {
+		return p, r, 0
+	}
+	return p, r, 2 * p * r / (p + r)
+}
+
+// F1 is shorthand when only the score is needed.
+func F1(mined, ref map[string]bool) float64 {
+	_, _, f := PrecisionRecallF1(mined, ref)
+	return f
+}
+
+// GRecall returns the number of golden DCs present among the mined DCs
+// divided by the number of golden DCs (Section 8.4).
+func GRecall(mined map[string]bool, golden map[string]bool) float64 {
+	if len(golden) == 0 {
+		return 1
+	}
+	hits := 0
+	for k := range golden {
+		if mined[k] {
+			hits++
+		}
+	}
+	return float64(hits) / float64(len(golden))
+}

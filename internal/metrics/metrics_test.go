@@ -1,0 +1,92 @@
+package metrics_test
+
+import (
+	"math"
+	"testing"
+
+	"adc/internal/datagen"
+	"adc/internal/metrics"
+	"adc/internal/predicate"
+)
+
+func set(keys ...string) map[string]bool {
+	m := map[string]bool{}
+	for _, k := range keys {
+		m[k] = true
+	}
+	return m
+}
+
+func TestPrecisionRecallF1(t *testing.T) {
+	mined := set("a", "b", "c", "d")
+	ref := set("b", "c", "e")
+	p, r, f1 := metrics.PrecisionRecallF1(mined, ref)
+	if math.Abs(p-0.5) > 1e-15 {
+		t.Errorf("precision = %v, want 0.5", p)
+	}
+	if math.Abs(r-2.0/3.0) > 1e-15 {
+		t.Errorf("recall = %v, want 2/3", r)
+	}
+	want := 2 * 0.5 * (2.0 / 3.0) / (0.5 + 2.0/3.0)
+	if math.Abs(f1-want) > 1e-15 {
+		t.Errorf("f1 = %v, want %v", f1, want)
+	}
+}
+
+func TestDegenerateCases(t *testing.T) {
+	if _, _, f1 := metrics.PrecisionRecallF1(set(), set()); f1 != 1 {
+		t.Error("both empty should be perfect")
+	}
+	p, r, f1 := metrics.PrecisionRecallF1(set(), set("a"))
+	if p != 0 || r != 0 || f1 != 0 {
+		t.Errorf("empty mined: got %v %v %v", p, r, f1)
+	}
+	p, r, f1 = metrics.PrecisionRecallF1(set("a"), set())
+	if p != 0 || r != 0 || f1 != 0 {
+		t.Errorf("empty ref: got %v %v %v", p, r, f1)
+	}
+	if metrics.GRecall(set("x"), set()) != 1 {
+		t.Error("no golden DCs: G-recall should be 1")
+	}
+}
+
+func TestGRecall(t *testing.T) {
+	mined := set("a", "b", "z")
+	golden := set("a", "b", "c", "d")
+	if got := metrics.GRecall(mined, golden); got != 0.5 {
+		t.Errorf("G-recall = %v, want 0.5", got)
+	}
+}
+
+func TestKeySetWithDCs(t *testing.T) {
+	rel := datagen.RunningExample()
+	space := predicate.Build(rel, predicate.DefaultOptions())
+	phi1, err := predicate.FromSpecs(space, datagen.Phi1())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mined := metrics.KeySet([]predicate.DC{phi1})
+	golden := metrics.KeySet([]predicate.DCSpec{datagen.Phi1(), datagen.Phi2()})
+	if got := metrics.GRecall(mined, golden); got != 0.5 {
+		t.Errorf("G-recall across DC and DCSpec = %v, want 0.5", got)
+	}
+	if f := metrics.F1(mined, golden); f <= 0 || f >= 1 {
+		t.Errorf("F1 = %v, want in (0,1)", f)
+	}
+}
+
+func TestSpecAndResolvedDCCanonicalAgree(t *testing.T) {
+	// KeySet on a DCSpec and on its space-resolved DC must produce the
+	// same key, or cross-representation comparisons would silently fail.
+	rel := datagen.RunningExample()
+	space := predicate.Build(rel, predicate.DefaultOptions())
+	for _, spec := range []predicate.DCSpec{datagen.Phi1(), datagen.Phi2()} {
+		dc, err := predicate.FromSpecs(space, spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dc.Canonical() != spec.Canonical() {
+			t.Errorf("canonical mismatch: %q vs %q", dc.Canonical(), spec.Canonical())
+		}
+	}
+}

@@ -1,0 +1,128 @@
+// Package pli implements Position List Indexes in the style of Pena et
+// al. (DCFinder): for each column, rows are grouped into clusters of
+// equal values, and for numeric columns clusters are ordered by value so
+// that order comparisons reduce to integer rank comparisons. The fast
+// evidence-set builder (package evidence) uses these indexes to turn
+// per-pair predicate evaluation into rank lookups and precomputed bit
+// masks, which is what makes evidence construction feasible beyond toy
+// sizes (Section 2 of the paper).
+package pli
+
+import (
+	"sort"
+
+	"adc/internal/dataset"
+)
+
+// Index is the position list index of one column. ClusterOf maps each
+// row to a dense cluster ID; rows share a cluster iff they hold equal
+// values. For numeric columns, cluster IDs increase with the value, so
+// ClusterOf doubles as a dense rank and order predicates compare ranks.
+type Index struct {
+	ClusterOf   []int32
+	Clusters    [][]int32
+	NumClusters int
+	Numeric     bool
+}
+
+// ForColumn builds the index of a column.
+func ForColumn(c *dataset.Column) *Index {
+	n := c.Len()
+	idx := &Index{ClusterOf: make([]int32, n), Numeric: c.Type.Numeric()}
+	if idx.Numeric {
+		// Dense-rank rows by value.
+		vals := make([]float64, n)
+		for i := 0; i < n; i++ {
+			vals[i] = c.Num(i)
+		}
+		order := make([]int, n)
+		for i := range order {
+			order[i] = i
+		}
+		sort.Slice(order, func(a, b int) bool { return vals[order[a]] < vals[order[b]] })
+		cluster := int32(-1)
+		var prev float64
+		for k, row := range order {
+			if k == 0 || vals[row] != prev {
+				cluster++
+				idx.Clusters = append(idx.Clusters, nil)
+				prev = vals[row]
+			}
+			idx.ClusterOf[row] = cluster
+			idx.Clusters[cluster] = append(idx.Clusters[cluster], int32(row))
+		}
+		idx.NumClusters = len(idx.Clusters)
+		return idx
+	}
+	// Strings: dictionary codes already identify clusters; renumber them
+	// densely in first-appearance order.
+	remap := make(map[int32]int32)
+	for i := 0; i < n; i++ {
+		code := c.Codes[i]
+		id, ok := remap[code]
+		if !ok {
+			id = int32(len(remap))
+			remap[code] = id
+			idx.Clusters = append(idx.Clusters, nil)
+		}
+		idx.ClusterOf[i] = id
+		idx.Clusters[id] = append(idx.Clusters[id], int32(i))
+	}
+	idx.NumClusters = len(idx.Clusters)
+	return idx
+}
+
+// MergedRanks dense-ranks two numeric columns within their merged value
+// domain, so that comparing row i of a against row j of b reduces to
+// comparing ra[i] with rb[j]. Both columns must be numeric.
+func MergedRanks(a, b *dataset.Column) (ra, rb []int32) {
+	vals := make([]float64, 0, a.Len()+b.Len())
+	for i := 0; i < a.Len(); i++ {
+		vals = append(vals, a.Num(i))
+	}
+	for i := 0; i < b.Len(); i++ {
+		vals = append(vals, b.Num(i))
+	}
+	sort.Float64s(vals)
+	distinct := vals[:0]
+	for i, v := range vals {
+		if i == 0 || v != vals[i-1] {
+			distinct = append(distinct, v)
+		}
+	}
+	rank := func(v float64) int32 {
+		return int32(sort.SearchFloat64s(distinct, v))
+	}
+	ra = make([]int32, a.Len())
+	for i := range ra {
+		ra[i] = rank(a.Num(i))
+	}
+	rb = make([]int32, b.Len())
+	for i := range rb {
+		rb[i] = rank(b.Num(i))
+	}
+	return ra, rb
+}
+
+// MergedCodes assigns shared equality codes to two string columns so
+// that row i of a equals row j of b iff ca[i] == cb[j].
+func MergedCodes(a, b *dataset.Column) (ca, cb []int32) {
+	codes := make(map[string]int32)
+	code := func(s string) int32 {
+		id, ok := codes[s]
+		if !ok {
+			id = int32(len(codes))
+			codes[s] = id
+		}
+		return id
+	}
+	ca = make([]int32, len(a.Strings))
+	for i, s := range a.Strings {
+		ca[i] = code(s)
+	}
+	cb = make([]int32, len(b.Strings))
+	for i, s := range b.Strings {
+		cb[i] = code(s)
+	}
+	return ca, cb
+}

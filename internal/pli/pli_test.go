@@ -1,0 +1,174 @@
+package pli
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"adc/internal/dataset"
+)
+
+func TestForColumnNumericRanks(t *testing.T) {
+	c := dataset.NewIntColumn("a", []int64{30, 10, 20, 10, 30})
+	idx := ForColumn(c)
+	if !idx.Numeric {
+		t.Fatal("numeric flag not set")
+	}
+	if idx.NumClusters != 3 {
+		t.Fatalf("NumClusters = %d, want 3", idx.NumClusters)
+	}
+	// Values 10 < 20 < 30 must map to ranks 0 < 1 < 2.
+	want := []int32{2, 0, 1, 0, 2}
+	for i, w := range want {
+		if idx.ClusterOf[i] != w {
+			t.Errorf("ClusterOf[%d] = %d, want %d", i, idx.ClusterOf[i], w)
+		}
+	}
+	// Cluster membership must partition the rows.
+	seen := map[int32]bool{}
+	total := 0
+	for id, rows := range idx.Clusters {
+		for _, r := range rows {
+			if seen[r] {
+				t.Fatalf("row %d in two clusters", r)
+			}
+			seen[r] = true
+			if idx.ClusterOf[r] != int32(id) {
+				t.Fatalf("cluster %d contains row %d with ClusterOf %d", id, r, idx.ClusterOf[r])
+			}
+			total++
+		}
+	}
+	if total != c.Len() {
+		t.Fatalf("clusters cover %d rows, want %d", total, c.Len())
+	}
+}
+
+func TestForColumnStrings(t *testing.T) {
+	c := dataset.NewStringColumn("s", []string{"b", "a", "b", "c", "a"})
+	idx := ForColumn(c)
+	if idx.Numeric {
+		t.Fatal("numeric flag set on string column")
+	}
+	if idx.NumClusters != 3 {
+		t.Fatalf("NumClusters = %d, want 3", idx.NumClusters)
+	}
+	for i := 0; i < c.Len(); i++ {
+		for j := 0; j < c.Len(); j++ {
+			if (idx.ClusterOf[i] == idx.ClusterOf[j]) != (c.Strings[i] == c.Strings[j]) {
+				t.Fatalf("cluster equality disagrees with value equality at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestQuickNumericClusterOrder(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(60)
+		vals := make([]int64, n)
+		for i := range vals {
+			vals[i] = int64(r.Intn(10))
+		}
+		c := dataset.NewIntColumn("a", vals)
+		idx := ForColumn(c)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				ri, rj := idx.ClusterOf[i], idx.ClusterOf[j]
+				switch {
+				case vals[i] < vals[j]:
+					if ri >= rj {
+						return false
+					}
+				case vals[i] > vals[j]:
+					if ri <= rj {
+						return false
+					}
+				default:
+					if ri != rj {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMergedRanks(t *testing.T) {
+	a := dataset.NewIntColumn("a", []int64{5, 1, 9})
+	b := dataset.NewFloatColumn("b", []float64{1, 7, 5})
+	ra, rb := MergedRanks(a, b)
+	for i := 0; i < a.Len(); i++ {
+		for j := 0; j < b.Len(); j++ {
+			av, bv := a.Num(i), b.Num(j)
+			switch {
+			case av < bv:
+				if ra[i] >= rb[j] {
+					t.Fatalf("rank order broken at (%d,%d)", i, j)
+				}
+			case av > bv:
+				if ra[i] <= rb[j] {
+					t.Fatalf("rank order broken at (%d,%d)", i, j)
+				}
+			default:
+				if ra[i] != rb[j] {
+					t.Fatalf("rank equality broken at (%d,%d)", i, j)
+				}
+			}
+		}
+	}
+}
+
+func TestQuickMergedRanks(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n, m := 1+r.Intn(30), 1+r.Intn(30)
+		av := make([]int64, n)
+		bv := make([]float64, m)
+		for i := range av {
+			av[i] = int64(r.Intn(8))
+		}
+		for i := range bv {
+			bv[i] = float64(r.Intn(8))
+		}
+		a := dataset.NewIntColumn("a", av)
+		b := dataset.NewFloatColumn("b", bv)
+		ra, rb := MergedRanks(a, b)
+		for i := 0; i < n; i++ {
+			for j := 0; j < m; j++ {
+				x, y := float64(av[i]), bv[j]
+				if (x < y) != (ra[i] < rb[j]) || (x == y) != (ra[i] == rb[j]) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMergedCodes(t *testing.T) {
+	a := dataset.NewStringColumn("a", []string{"x", "y", "z"})
+	b := dataset.NewStringColumn("b", []string{"y", "q", "x"})
+	ca, cb := MergedCodes(a, b)
+	for i := 0; i < a.Len(); i++ {
+		for j := 0; j < b.Len(); j++ {
+			if (ca[i] == cb[j]) != (a.Strings[i] == b.Strings[j]) {
+				t.Fatalf("merged code equality wrong at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestSingleRowColumn(t *testing.T) {
+	idx := ForColumn(dataset.NewIntColumn("a", []int64{42}))
+	if idx.NumClusters != 1 || idx.ClusterOf[0] != 0 {
+		t.Fatal("single-row index wrong")
+	}
+}

@@ -1,0 +1,128 @@
+package predicate
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"adc/internal/bitset"
+)
+
+// DC is a denial constraint ∀t,t'¬(P1 ∧ ... ∧ Pm) over a concrete
+// predicate space: the set Sϕ of its predicate IDs.
+type DC struct {
+	Space *Space
+	Preds []int
+}
+
+// FromHittingSet converts a hitting set X ⊆ P of the evidence set into
+// the DC whose predicate set is the complement of X (Section 6: ϕ is a
+// valid DC iff Ŝϕ is a hitting set of Evi(D)).
+func FromHittingSet(s *Space, hs bitset.Bits) DC {
+	dc := DC{Space: s}
+	hs.ForEach(func(id int) {
+		dc.Preds = append(dc.Preds, s.Complement(id))
+	})
+	sort.Ints(dc.Preds)
+	return dc
+}
+
+// FromSpecs resolves a relation-independent DCSpec against a space.
+// It fails if any predicate is absent from the space.
+func FromSpecs(s *Space, spec DCSpec) (DC, error) {
+	dc := DC{Space: s, Preds: make([]int, 0, len(spec))}
+	for _, sp := range spec {
+		id := s.Lookup(sp)
+		if id < 0 {
+			return DC{}, fmt.Errorf("predicate: %s not in space", sp)
+		}
+		dc.Preds = append(dc.Preds, id)
+	}
+	sort.Ints(dc.Preds)
+	return dc, nil
+}
+
+// Size returns the number of predicates |Sϕ|.
+func (dc DC) Size() int { return len(dc.Preds) }
+
+// Spec returns the relation-independent form of the DC.
+func (dc DC) Spec() DCSpec {
+	out := make(DCSpec, len(dc.Preds))
+	for i, id := range dc.Preds {
+		out[i] = dc.Space.Spec(id)
+	}
+	return out
+}
+
+// String renders the DC in the paper's notation.
+func (dc DC) String() string {
+	parts := make([]string, len(dc.Preds))
+	for i, id := range dc.Preds {
+		parts[i] = dc.Space.String(id)
+	}
+	return "not(" + strings.Join(parts, " and ") + ")"
+}
+
+// Canonical returns a normalized comparison key (sorted predicate
+// strings), equal for DCs with identical predicate sets.
+func (dc DC) Canonical() string { return dc.Spec().Canonical() }
+
+// HittingSet returns Ŝϕ as a bitset over the space: the set whose
+// intersection with every evidence set witnesses satisfaction.
+func (dc DC) HittingSet() bitset.Bits {
+	b := bitset.New(dc.Space.Size())
+	for _, id := range dc.Preds {
+		b.Set(dc.Space.Complement(id))
+	}
+	return b
+}
+
+// SatisfiedBy reports whether the ordered tuple pair (i, j) satisfies
+// the DC, i.e. at least one predicate of Sϕ does not hold on (i, j).
+func (dc DC) SatisfiedBy(i, j int) bool {
+	for _, id := range dc.Preds {
+		if !dc.Space.Eval(id, i, j) {
+			return true
+		}
+	}
+	return false
+}
+
+// CountViolations counts ordered pairs (i, j), i ≠ j, of the relation
+// that violate the DC. This is the O(n²) reference used by tests and by
+// the conflict-graph estimator; the miner itself works off the evidence
+// set instead.
+func (dc DC) CountViolations() int64 {
+	n := dc.Space.Rel.NumRows()
+	var v int64
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			if !dc.SatisfiedBy(i, j) {
+				v++
+			}
+		}
+	}
+	return v
+}
+
+// ViolatingPairs returns all ordered violating pairs (i, j), i ≠ j.
+// Intended for small relations (tests, examples, the conflict graph of
+// Section 7).
+func (dc DC) ViolatingPairs() [][2]int {
+	n := dc.Space.Rel.NumRows()
+	var out [][2]int
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			if !dc.SatisfiedBy(i, j) {
+				out = append(out, [2]int{i, j})
+			}
+		}
+	}
+	return out
+}

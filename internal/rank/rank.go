@@ -1,0 +1,86 @@
+// Package rank scores discovered DCs by interestingness, following the
+// measures Chu et al. introduced with FASTDC and which later miners
+// (including the paper's experimental setup) use to order output:
+// succinctness (shorter DCs generalize better — the paper's Table 5
+// argument for ADCs over bloated valid DCs) and coverage (DCs witnessed
+// by many tuple pairs with many falsified predicates are better
+// supported by the data).
+package rank
+
+import (
+	"sort"
+
+	"adc/internal/evidence"
+	"adc/internal/predicate"
+)
+
+// Score is the interestingness breakdown of one DC.
+type Score struct {
+	DC predicate.DC
+	// Succinctness is minLen/|Sϕ| where minLen is the length of the
+	// shortest DC under consideration: 1 for the shortest DCs,
+	// decreasing harmonically with length.
+	Succinctness float64
+	// Coverage is the average, over ordered tuple pairs, of the
+	// fraction of ϕ's predicates falsified by the pair (equivalently,
+	// of Ŝϕ hit by the pair's evidence). A pair that falsifies every
+	// predicate is the strongest witness; a violating pair contributes
+	// zero.
+	Coverage float64
+	// Interestingness combines the two with FASTDC's equal weights.
+	Interestingness float64
+}
+
+// Coverage computes the coverage of a DC against an evidence set.
+func Coverage(ev *evidence.Set, dc predicate.DC) float64 {
+	if ev.TotalPairs == 0 || dc.Size() == 0 {
+		return 0
+	}
+	hs := dc.HittingSet()
+	var weighted float64
+	for k, set := range ev.Sets {
+		hits := set.IntersectionCount(hs)
+		if hits == 0 {
+			continue
+		}
+		weighted += float64(ev.Counts[k]) * float64(hits) / float64(dc.Size())
+	}
+	return weighted / float64(ev.TotalPairs)
+}
+
+// Rank scores and sorts DCs by decreasing interestingness. Ties break
+// toward shorter DCs, then lexicographically, so output is stable.
+func Rank(ev *evidence.Set, dcs []predicate.DC) []Score {
+	if len(dcs) == 0 {
+		return nil
+	}
+	minLen := dcs[0].Size()
+	for _, dc := range dcs[1:] {
+		if dc.Size() < minLen {
+			minLen = dc.Size()
+		}
+	}
+	if minLen == 0 {
+		minLen = 1
+	}
+	scores := make([]Score, len(dcs))
+	for i, dc := range dcs {
+		s := Score{DC: dc}
+		if dc.Size() > 0 {
+			s.Succinctness = float64(minLen) / float64(dc.Size())
+		}
+		s.Coverage = Coverage(ev, dc)
+		s.Interestingness = 0.5*s.Succinctness + 0.5*s.Coverage
+		scores[i] = s
+	}
+	sort.SliceStable(scores, func(a, b int) bool {
+		if scores[a].Interestingness != scores[b].Interestingness {
+			return scores[a].Interestingness > scores[b].Interestingness
+		}
+		if scores[a].DC.Size() != scores[b].DC.Size() {
+			return scores[a].DC.Size() < scores[b].DC.Size()
+		}
+		return scores[a].DC.Canonical() < scores[b].DC.Canonical()
+	})
+	return scores
+}

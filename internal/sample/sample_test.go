@@ -1,0 +1,139 @@
+package sample
+
+import (
+	"math"
+	"testing"
+)
+
+func TestNormalQuantileKnownValues(t *testing.T) {
+	cases := []struct{ p, want float64 }{
+		{0.5, 0},
+		{0.841344746, 1.0},
+		{0.95, 1.6448536269514722},
+		{0.975, 1.959963984540054},
+		{0.99, 2.3263478740408408},
+		{0.999, 3.090232306167813},
+		{0.05, -1.6448536269514722},
+		{0.025, -1.959963984540054},
+	}
+	for _, c := range cases {
+		if got := NormalQuantile(c.p); math.Abs(got-c.want) > 1e-8 {
+			t.Errorf("NormalQuantile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+}
+
+func TestNormalQuantileRoundTrip(t *testing.T) {
+	for p := 0.0005; p < 1; p += 0.0101 {
+		x := NormalQuantile(p)
+		if got := normalCDF(x); math.Abs(got-p) > 1e-9 {
+			t.Fatalf("Φ(Φ⁻¹(%v)) = %v", p, got)
+		}
+	}
+}
+
+func TestNormalQuantileExtremes(t *testing.T) {
+	if !math.IsInf(NormalQuantile(0), -1) || !math.IsInf(NormalQuantile(1), 1) {
+		t.Error("quantile extremes should be infinite")
+	}
+	if NormalQuantile(1e-12) > -6 {
+		t.Error("deep tail quantile too small in magnitude")
+	}
+}
+
+func TestEstimateP(t *testing.T) {
+	if got := EstimateP(16, 15); math.Abs(got-16.0/210.0) > 1e-15 {
+		t.Errorf("EstimateP = %v, want 16/210", got)
+	}
+	if EstimateP(5, 1) != 0 {
+		t.Error("EstimateP on <2 rows should be 0")
+	}
+}
+
+func TestThresholdConvergesToEps(t *testing.T) {
+	eps, pHat, alpha := 0.01, 0.005, 0.05
+	prev := Threshold(eps, pHat, 10, alpha)
+	for _, rows := range []int{100, 1000, 10000, 100000} {
+		cur := Threshold(eps, pHat, rows, alpha)
+		if cur < prev-1e-15 {
+			t.Fatalf("threshold not monotone in sample size: %v then %v", prev, cur)
+		}
+		prev = cur
+	}
+	if math.Abs(prev-eps) > 1e-4 {
+		t.Errorf("threshold at 100k rows = %v, want ≈ %v", prev, eps)
+	}
+	// Tiny samples give a conservative (smaller) threshold.
+	if small := Threshold(eps, pHat, 20, alpha); small >= eps {
+		t.Errorf("threshold on 20 rows = %v, not conservative", small)
+	}
+}
+
+func TestThresholdClampsAtZero(t *testing.T) {
+	if got := Threshold(0.001, 0.5, 5, 0.01); got != 0 {
+		t.Errorf("threshold = %v, want 0 (clamped)", got)
+	}
+}
+
+func TestAcceptMatchesThreshold(t *testing.T) {
+	eps, alpha := 0.05, 0.05
+	for _, rows := range []int{50, 500} {
+		for _, pHat := range []float64{0, 0.01, 0.049, 0.05, 0.2} {
+			want := pHat <= Threshold(eps, pHat, rows, alpha)
+			if got := Accept(pHat, rows, eps, alpha); got != want {
+				t.Errorf("Accept(%v, %d) = %v, want %v", pHat, rows, got, want)
+			}
+		}
+	}
+}
+
+func TestNormalCI(t *testing.T) {
+	lo, hi := NormalCI(0.1, 10000, 0.025)
+	if lo >= 0.1 || hi <= 0.1 {
+		t.Errorf("CI [%v, %v] does not bracket p̂", lo, hi)
+	}
+	width := hi - lo
+	lo2, hi2 := NormalCI(0.1, 1000000, 0.025)
+	if hi2-lo2 >= width {
+		t.Error("CI should narrow as sample grows")
+	}
+	lo3, hi3 := NormalCI(0.0001, 100, 0.025)
+	if lo3 < 0 || hi3 > 1 {
+		t.Error("CI not clamped to [0,1]")
+	}
+}
+
+func TestChebyshevBound(t *testing.T) {
+	// Bound must be in [0,1], decrease in a, and return 1 degenerately.
+	if ChebyshevBound(0.1, 1, 0.1) != 1 || ChebyshevBound(0.1, 100, 0) != 1 {
+		t.Error("degenerate inputs should give the trivial bound 1")
+	}
+	b1 := ChebyshevBound(0.1, 100, 0.05)
+	b2 := ChebyshevBound(0.1, 100, 0.2)
+	if b2 > b1 {
+		t.Errorf("bound should shrink with larger a: %v vs %v", b1, b2)
+	}
+	for _, b := range []float64{b1, b2} {
+		if b < 0 || b > 1 {
+			t.Errorf("bound %v out of range", b)
+		}
+	}
+}
+
+func TestZ(t *testing.T) {
+	if got := Z(0.05); math.Abs(got-1.6448536269514722) > 1e-8 {
+		t.Errorf("Z(0.05) = %v", got)
+	}
+	if Z(0.5) != 0 {
+		t.Errorf("Z(0.5) = %v, want 0", Z(0.5))
+	}
+}
+
+func TestStdErr(t *testing.T) {
+	if StdErr(0.5, 0) != 0 {
+		t.Error("StdErr with no pairs should be 0")
+	}
+	if got, want := StdErr(0.5, 100), 0.05; math.Abs(got-want) > 1e-12 {
+		t.Errorf("StdErr = %v, want %v", got, want)
+	}
+}
