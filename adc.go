@@ -24,12 +24,31 @@
 // satisfy the validity axioms (monotonicity and indifference to
 // redundancy, Definitions 4.1–4.3); the checkers in internal/approx are
 // re-exported for property-testing them.
+//
+// Beyond mining, the package covers the other half of the cleaning
+// story: applying constraints back to data. Violations enumerates the
+// tuple pairs violating a set of DCs (mined or hand-written), choosing
+// per DC between a PLI cluster-intersection join and a sharded parallel
+// refutation scan; Validate scores DCs against a relation under f1, f2,
+// or f3 and a threshold; Repair computes a greedy deletion set that
+// satisfies every constraint. ParseDCSpec reads constraints in the
+// paper's textual notation, so golden or expert DCs can be supplied as
+// strings (see cmd/dccheck for the command-line form):
+//
+//	specs, _ := adc.ParseDCSpecs([]string{
+//	    "not(t.Zip = t'.Zip and t.State != t'.State)",
+//	})
+//	rep, _ := adc.Violations(rel, specs, adc.CheckOptions{})
+//	for _, r := range rep.Results {
+//	    fmt.Println(r.Spec, r.Violations, r.LossF1)
+//	}
 package adc
 
 import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"sort"
 	"time"
 
 	"adc/internal/approx"
@@ -41,6 +60,7 @@ import (
 	"adc/internal/rank"
 	"adc/internal/sample"
 	"adc/internal/searchmc"
+	"adc/internal/violation"
 )
 
 // Re-exported data types. Aliases keep the internal packages private
@@ -308,6 +328,108 @@ type DCScore = rank.Score
 // 0.5·succinctness + 0.5·coverage, as in Chu et al. Useful for
 // surfacing the most general, best-supported constraints first.
 func RankDCs(ev *EvidenceSet, dcs []DC) []DCScore { return rank.Rank(ev, dcs) }
+
+// ---- Constraint application (the check side) ----------------------------
+
+// Violation-checking types, re-exported from internal/violation.
+type (
+	// CheckOptions configures Violations, Validate, and Repair: the
+	// execution path ("auto", "pli", "scan"), worker count, and the
+	// per-DC cap on recorded pairs.
+	CheckOptions = violation.Options
+	// ViolationReport is the outcome of a Violations run: per-DC
+	// results plus aggregate per-tuple violation counts.
+	ViolationReport = violation.Report
+	// DCViolations is the per-DC entry of a ViolationReport: violating
+	// pairs, tuple counts, losses under f1/f2/f3, and the path used.
+	DCViolations = violation.DCResult
+	// DCValidation is the per-DC verdict of Validate.
+	DCValidation = violation.Validation
+	// RepairResult is the outcome of Repair: the tuples to delete and
+	// the repaired relation.
+	RepairResult = violation.RepairResult
+)
+
+// Execution paths for CheckOptions.Path.
+const (
+	AutoPath = violation.PathAuto
+	PLIPath  = violation.PathPLI
+	ScanPath = violation.PathScan
+)
+
+// Violations enumerates, for every DC, the ordered tuple pairs of the
+// relation that violate it, with per-tuple violation counts and the DC's
+// approximation losses under f1, f2, and f3. Each DC runs on the PLI
+// cluster-intersection path or the parallel refutation scan, per
+// CheckOptions.Path.
+func Violations(rel *Relation, dcs []DCSpec, opts CheckOptions) (*ViolationReport, error) {
+	return violation.Check(rel, dcs, opts)
+}
+
+// Validate scores every DC against the relation and accepts it when the
+// loss under the named approximation function ("f1", "f2", or "f3") is
+// at most eps — the check-side counterpart of Definition 4.4. With eps
+// 0 it verifies valid DCs.
+func Validate(rel *Relation, dcs []DCSpec, approxName string, eps float64, opts CheckOptions) ([]DCValidation, error) {
+	return violation.Validate(rel, dcs, approxName, eps, opts)
+}
+
+// Repair computes a greedy deletion repair: the tuples to remove so the
+// relation satisfies every DC (the explicit counterpart of the greedy
+// cardinality-repair stand-in behind f3, Figure 2).
+func Repair(rel *Relation, dcs []DCSpec, opts CheckOptions) (*RepairResult, error) {
+	return violation.Repair(rel, dcs, opts)
+}
+
+// RepairFromReport computes the greedy repair from a report previously
+// produced by Violations, skipping the re-enumeration Repair would do.
+// The report must have been built with CheckOptions.MaxPairs 0, since
+// the conflict graph needs every violating pair. (Verdicts can likewise
+// be derived without re-checking via ViolationReport.Validations.)
+func RepairFromReport(rel *Relation, rep *ViolationReport) (*RepairResult, error) {
+	return violation.RepairReport(rel, rep)
+}
+
+// SortDCs orders DCs in place most-general-first: fewer predicates
+// first, ties by canonical form. This is the presentation (and
+// truncation) order used by the CLIs and the experiments when surfacing
+// mined output.
+func SortDCs(dcs []DC) {
+	sort.Slice(dcs, func(i, j int) bool {
+		if dcs[i].Size() != dcs[j].Size() {
+			return dcs[i].Size() < dcs[j].Size()
+		}
+		return dcs[i].Canonical() < dcs[j].Canonical()
+	})
+}
+
+// DCSpecs converts mined DCs into relation-independent specs, the form
+// Violations, Validate, and Repair consume. Use it to apply constraints
+// mined on one relation (or a sample) to another.
+func DCSpecs(dcs []DC) []DCSpec {
+	out := make([]DCSpec, len(dcs))
+	for i, dc := range dcs {
+		out[i] = dc.Spec()
+	}
+	return out
+}
+
+// ParseDCSpec parses one DC in the paper's notation, e.g.
+// "not(t.Zip = t'.Zip and t.State != t'.State)".
+func ParseDCSpec(s string) (DCSpec, error) { return predicate.ParseDCSpec(s) }
+
+// ParseDCSpecs parses a list of DCs in the paper's notation.
+func ParseDCSpecs(lines []string) ([]DCSpec, error) {
+	out := make([]DCSpec, 0, len(lines))
+	for _, line := range lines {
+		spec, err := predicate.ParseDCSpec(line)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, spec)
+	}
+	return out, nil
+}
 
 // SampleThreshold returns ε_J of Inequality 2: the threshold to apply
 // to the violating-pair fraction p̂ observed on a sample of the given

@@ -14,6 +14,7 @@ package adc_test
 
 import (
 	"io"
+	"math/rand"
 	"testing"
 
 	"adc"
@@ -102,6 +103,10 @@ func BenchmarkFig14GRecall(b *testing.B) {
 
 func BenchmarkTable5ADCvsValid(b *testing.B) {
 	runFigure(b, benchCfg(50, 2, "stock", "adult"), experiments.Table5)
+}
+
+func BenchmarkCheckQuality(b *testing.B) {
+	runFigure(b, benchCfg(50, 2, "stock"), experiments.FigCheck)
 }
 
 // ---- Pipeline-stage micro-benchmarks -------------------------------------
@@ -217,6 +222,54 @@ func BenchmarkMineEndToEnd(b *testing.B) {
 			Approx: "f1", Epsilon: 0.01, MaxPredicates: benchPreds,
 		}); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// ---- Violation-checker benchmarks ----------------------------------------
+
+// benchCheckSetup builds a dirtied Tax relation and its equality-heavy
+// golden DCs (functional dependencies, keys, and the running-example
+// constraint — all join on selective PLI clusters), the workload where
+// the cluster-intersection path should beat the full pair scan.
+func benchCheckSetup(b *testing.B, rows int) (*adc.Relation, []adc.DCSpec) {
+	b.Helper()
+	d := benchDataset(b, "tax", rows)
+	rng := rand.New(rand.NewSource(benchSeed))
+	dirty := adc.AddNoise(d.Rel, adc.SpreadNoise, 0.01, rng)
+	return dirty, d.Golden
+}
+
+func benchViolations(b *testing.B, path string) {
+	rel, specs := benchCheckSetup(b, 400)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err := adc.Violations(rel, specs, adc.CheckOptions{Path: path})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rep.Violations == 0 {
+			b.Fatal("no violations; benchmark is vacuous")
+		}
+	}
+}
+
+func BenchmarkViolationsPLI(b *testing.B)  { benchViolations(b, adc.PLIPath) }
+func BenchmarkViolationsScan(b *testing.B) { benchViolations(b, adc.ScanPath) }
+func BenchmarkViolationsAuto(b *testing.B) { benchViolations(b, adc.AutoPath) }
+
+func BenchmarkRepairGreedy(b *testing.B) {
+	rel, specs := benchCheckSetup(b, 300)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := adc.Repair(rel, specs, adc.CheckOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Remove) == 0 {
+			b.Fatal("nothing repaired; benchmark is vacuous")
 		}
 	}
 }

@@ -11,7 +11,6 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"sort"
 	"time"
 
 	"adc"
@@ -67,12 +66,7 @@ func main() {
 			dcs[i] = s.DC
 		}
 	} else {
-		sort.Slice(dcs, func(i, j int) bool {
-			if dcs[i].Size() != dcs[j].Size() {
-				return dcs[i].Size() < dcs[j].Size()
-			}
-			return dcs[i].Canonical() < dcs[j].Canonical()
-		})
+		adc.SortDCs(dcs)
 	}
 	limit := len(dcs)
 	if *top > 0 && *top < limit {

@@ -1,0 +1,280 @@
+// Command dccheck applies denial constraints to a CSV file: it reports
+// the violating tuple pairs, per-DC approximation losses (f1/f2/f3),
+// the dirtiest tuples, and optionally a greedy repair set — the check
+// side of the mining pipeline of cmd/adcminer.
+//
+// Constraints come from -dc flags (paper notation), a -dcs file (one
+// constraint per line, # comments), or -mine, which first mines ADCs
+// from the input itself and then applies them back.
+//
+// Usage:
+//
+//	dccheck -input data.csv -dc "not(t.Zip = t'.Zip and t.State != t'.State)"
+//	dccheck -input data.csv -dcs constraints.txt -eps 0.01 -approx f1
+//	dccheck -input data.csv -mine -eps 0.001 -repair -json
+//
+// Exit status: 0 when every constraint passes (no violations, or loss ≤
+// -eps when set), 1 when at least one fails, 2 on usage or data errors.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"adc"
+)
+
+type multiFlag []string
+
+func (m *multiFlag) String() string { return strings.Join(*m, "; ") }
+func (m *multiFlag) Set(s string) error {
+	*m = append(*m, s)
+	return nil
+}
+
+func main() {
+	var dcFlags multiFlag
+	var (
+		input    = flag.String("input", "", "input CSV file (required)")
+		header   = flag.Bool("header", true, "first CSV record is the header")
+		dcsFile  = flag.String("dcs", "", "file of constraints, one per line (# comments)")
+		mine     = flag.Bool("mine", false, "mine ADCs from the input and check those")
+		fn       = flag.String("approx", "f1", "approximation function deciding pass/fail: f1, f2, or f3")
+		eps      = flag.Float64("eps", 0, "pass a DC when its loss is at most eps (0 = require no violations); also the mining threshold with -mine")
+		maxPreds = flag.Int("max-preds", 4, "maximum predicates per mined DC (-mine)")
+		seed     = flag.Int64("seed", 1, "mining seed (-mine)")
+		path     = flag.String("path", "auto", "execution path: auto, pli, or scan")
+		workers  = flag.Int("workers", 0, "worker goroutines per DC (0 = GOMAXPROCS)")
+		maxPairs = flag.Int("max-pairs", 10, "violating pairs shown per DC (0 = all)")
+		top      = flag.Int("top", 5, "dirtiest tuples shown (0 = none)")
+		repair   = flag.Bool("repair", false, "compute a greedy repair set")
+		asJSON   = flag.Bool("json", false, "emit a JSON report instead of text")
+	)
+	flag.Var(&dcFlags, "dc", "constraint in paper notation (repeatable)")
+	flag.Parse()
+	if *input == "" {
+		fmt.Fprintln(os.Stderr, "dccheck: -input is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	rel, err := adc.ReadCSVFile(*input, *header)
+	if err != nil {
+		fail(err)
+	}
+	specs, err := gatherSpecs(rel, dcFlags, *dcsFile, *mine, *fn, *eps, *maxPreds, *seed)
+	if err != nil {
+		fail(err)
+	}
+	if len(specs) == 0 {
+		fail(fmt.Errorf("no constraints to check (use -dc, -dcs, or -mine)"))
+	}
+
+	// One pair enumeration serves the report, the verdicts, and the
+	// repair: -repair needs the full pair lists, so the display cap is
+	// then applied at print time instead of in the checker.
+	opts := adc.CheckOptions{Path: *path, Workers: *workers, MaxPairs: *maxPairs}
+	if *repair {
+		opts.MaxPairs = 0
+	}
+	rep, err := adc.Violations(rel, specs, opts)
+	if err != nil {
+		fail(err)
+	}
+	verdicts, err := rep.Validations(*fn, *eps)
+	if err != nil {
+		fail(err)
+	}
+	var rr *adc.RepairResult
+	if *repair {
+		if rr, err = adc.RepairFromReport(rel, rep); err != nil {
+			fail(err)
+		}
+	}
+
+	if *asJSON {
+		printJSON(rep, verdicts, rr, *fn, *eps, *top, *maxPairs)
+	} else {
+		printText(rep, verdicts, rr, *fn, *eps, *top, *maxPairs)
+	}
+	for _, v := range verdicts {
+		if !v.OK {
+			os.Exit(1)
+		}
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "dccheck:", err)
+	os.Exit(2)
+}
+
+// gatherSpecs collects constraints from every configured source.
+func gatherSpecs(rel *adc.Relation, dcFlags []string, dcsFile string, mine bool,
+	fn string, eps float64, maxPreds int, seed int64) ([]adc.DCSpec, error) {
+	specs, err := adc.ParseDCSpecs(dcFlags)
+	if err != nil {
+		return nil, err
+	}
+	if dcsFile != "" {
+		data, err := os.ReadFile(dcsFile)
+		if err != nil {
+			return nil, err
+		}
+		for _, line := range strings.Split(string(data), "\n") {
+			line = strings.TrimSpace(line)
+			if line == "" || strings.HasPrefix(line, "#") {
+				continue
+			}
+			spec, err := adc.ParseDCSpec(line)
+			if err != nil {
+				return nil, fmt.Errorf("%s: %w", dcsFile, err)
+			}
+			specs = append(specs, spec)
+		}
+	}
+	if mine {
+		res, err := adc.Mine(rel, adc.Options{
+			Approx:        fn,
+			Epsilon:       eps,
+			MaxPredicates: maxPreds,
+			Seed:          seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		adc.SortDCs(res.DCs)
+		specs = append(specs, adc.DCSpecs(res.DCs)...)
+	}
+	return specs, nil
+}
+
+// ---- Text report ---------------------------------------------------------
+
+// shownPairs applies the display cap: with -repair the checker keeps
+// every pair for the conflict graph, so -max-pairs is enforced here.
+func shownPairs(res adc.DCViolations, maxPairs int) ([][2]int, bool) {
+	pairs, truncated := res.Pairs, res.Truncated
+	if maxPairs > 0 && len(pairs) > maxPairs {
+		pairs, truncated = pairs[:maxPairs], true
+	}
+	return pairs, truncated
+}
+
+func printText(rep *adc.ViolationReport, verdicts []adc.DCValidation, rr *adc.RepairResult,
+	fn string, eps float64, top, maxPairs int) {
+	fmt.Printf("checked %d rows against %d DCs: %d violating pairs, %d dirty tuples (pass: %s loss <= %g)\n",
+		rep.NumRows, len(rep.Results), rep.Violations, rep.DirtyTuples(), fn, eps)
+	for k, res := range rep.Results {
+		verdict := "ok  "
+		if !verdicts[k].OK {
+			verdict = "FAIL"
+		}
+		fmt.Printf("[%s %s=%.4g] %s  (%d pairs via %s)\n",
+			verdict, fn, verdicts[k].Loss, res.Spec, res.Violations, res.Path)
+		if pairs, truncated := shownPairs(res, maxPairs); len(pairs) > 0 {
+			parts := make([]string, len(pairs))
+			for i, p := range pairs {
+				parts[i] = fmt.Sprintf("(%d,%d)", p[0], p[1])
+			}
+			suffix := ""
+			if truncated {
+				suffix = " ..."
+			}
+			fmt.Printf("    %s%s\n", strings.Join(parts, " "), suffix)
+		}
+	}
+	if top > 0 {
+		if dirty := rep.TopViolating(top); len(dirty) > 0 {
+			fmt.Printf("dirtiest tuples:")
+			for _, tc := range dirty {
+				fmt.Printf(" #%d(%d)", tc.Tuple, tc.Count)
+			}
+			fmt.Println()
+		}
+	}
+	if rr != nil {
+		fmt.Printf("repair: remove %d of %d tuples: %v\n",
+			len(rr.Remove), rep.NumRows, rr.Remove)
+	}
+}
+
+// ---- JSON report ---------------------------------------------------------
+
+type jsonDC struct {
+	DC         string   `json:"dc"`
+	Violations int64    `json:"violations"`
+	LossF1     float64  `json:"loss_f1"`
+	LossF2     float64  `json:"loss_f2"`
+	LossF3     float64  `json:"loss_f3"`
+	Loss       float64  `json:"loss"`
+	OK         bool     `json:"ok"`
+	Path       string   `json:"path"`
+	Pairs      [][2]int `json:"pairs,omitempty"`
+	Truncated  bool     `json:"pairs_truncated,omitempty"`
+}
+
+type jsonTuple struct {
+	Tuple int   `json:"tuple"`
+	Count int64 `json:"count"`
+}
+
+type jsonReport struct {
+	Rows        int         `json:"rows"`
+	TotalPairs  int64       `json:"total_pairs"`
+	Approx      string      `json:"approx"`
+	Epsilon     float64     `json:"epsilon"`
+	Clean       bool        `json:"clean"`
+	Violations  int64       `json:"violations"`
+	DirtyTuples int         `json:"dirty_tuples"`
+	DCs         []jsonDC    `json:"dcs"`
+	Dirtiest    []jsonTuple `json:"dirtiest,omitempty"`
+	Repair      []int       `json:"repair,omitempty"`
+}
+
+func printJSON(rep *adc.ViolationReport, verdicts []adc.DCValidation, rr *adc.RepairResult,
+	fn string, eps float64, top, maxPairs int) {
+	out := jsonReport{
+		Rows:        rep.NumRows,
+		TotalPairs:  rep.TotalPairs,
+		Approx:      fn,
+		Epsilon:     eps,
+		Clean:       rep.Clean,
+		Violations:  rep.Violations,
+		DirtyTuples: rep.DirtyTuples(),
+	}
+	for k, res := range rep.Results {
+		pairs, truncated := shownPairs(res, maxPairs)
+		out.DCs = append(out.DCs, jsonDC{
+			DC:         res.Spec.String(),
+			Violations: res.Violations,
+			LossF1:     res.LossF1,
+			LossF2:     res.LossF2,
+			LossF3:     res.LossF3,
+			Loss:       verdicts[k].Loss,
+			OK:         verdicts[k].OK,
+			Path:       res.Path,
+			Pairs:      pairs,
+			Truncated:  truncated,
+		})
+	}
+	if top > 0 {
+		for _, tc := range rep.TopViolating(top) {
+			out.Dirtiest = append(out.Dirtiest, jsonTuple{Tuple: tc.Tuple, Count: tc.Count})
+		}
+	}
+	if rr != nil {
+		out.Repair = rr.Remove
+		if out.Repair == nil {
+			out.Repair = []int{}
+		}
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		fail(err)
+	}
+}

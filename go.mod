@@ -1,0 +1,3 @@
+module adc
+
+go 1.24

@@ -93,6 +93,7 @@ func All() []Runner {
 		{"fig13", "Figure 13: average ε − p̂ vs sample size", Fig13},
 		{"fig14", "Figure 14: G-recall vs threshold under noise", Fig14},
 		{"table5", "Table 5: approximate vs valid DCs", Table5},
+		{"check", "Check: mined-DC violations vs golden violations (precision/recall)", FigCheck},
 	}
 }
 

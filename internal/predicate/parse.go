@@ -1,0 +1,101 @@
+package predicate
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ParseDCSpec parses a denial constraint in the paper's notation, the
+// inverse of DCSpec.String:
+//
+//	not(t.Zip = t'.Zip and t.State != t'.State)
+//
+// The surrounding "not(...)" (or "¬(...)", "!(...)") is optional, "∧" and
+// "&&" are accepted as conjunction alongside "and"/"AND", and operators
+// may use the ASCII or unicode forms recognized by ParseOperator. Column
+// names must not contain whitespace.
+func ParseDCSpec(s string) (DCSpec, error) {
+	body := strings.TrimSpace(s)
+	for _, wrap := range []string{"not(", "NOT(", "¬(", "!("} {
+		if strings.HasPrefix(body, wrap) && strings.HasSuffix(body, ")") {
+			body = body[len(wrap) : len(body)-1]
+			break
+		}
+	}
+	body = strings.ReplaceAll(body, "∧", " and ")
+	body = strings.ReplaceAll(body, "&&", " and ")
+	body = strings.ReplaceAll(body, " AND ", " and ")
+	parts := strings.Split(body, " and ")
+	var out DCSpec
+	for _, part := range parts {
+		if strings.TrimSpace(part) == "" {
+			continue
+		}
+		sp, err := ParseSpec(part)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, sp)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("predicate: no predicates in DC %q", s)
+	}
+	return out, nil
+}
+
+// ParseSpec parses a single predicate "t.A ρ t'.B". The tuple variables
+// "t"/"t1" name the first tuple and "t'"/"t2" the second. A predicate
+// written as t'.A ρ t.B is normalized to the stored first-tuple-on-the-
+// left form via the mirrored operator. A predicate referencing only the
+// second tuple (t'.A ρ t'.B) is rejected: the predicate space has no
+// second-tuple-only form, and rewriting it onto t changes the meaning
+// of any DC that also contains an asymmetric cross-tuple predicate.
+func ParseSpec(s string) (Spec, error) {
+	fields := strings.Fields(s)
+	if len(fields) != 3 {
+		return Spec{}, fmt.Errorf("predicate: predicate %q is not of the form t.A op t'.B", strings.TrimSpace(s))
+	}
+	aVar, aCol, err := parseTerm(fields[0])
+	if err != nil {
+		return Spec{}, err
+	}
+	op, err := ParseOperator(fields[1])
+	if err != nil {
+		return Spec{}, err
+	}
+	bVar, bCol, err := parseTerm(fields[2])
+	if err != nil {
+		return Spec{}, err
+	}
+	switch {
+	case !aVar && bVar: // t.A ρ t'.B
+		return Spec{A: aCol, B: bCol, Op: op, Cross: true}, nil
+	case aVar && !bVar: // t'.A ρ t.B ≡ t.B ρ̃ t'.A
+		return Spec{A: bCol, B: aCol, Op: mirror(op), Cross: true}, nil
+	case aVar && bVar:
+		return Spec{}, fmt.Errorf("predicate: %q references only the second tuple; write it on t (single-tuple predicates are t.A op t.B)",
+			strings.TrimSpace(s))
+	default: // t.A ρ t.B
+		return Spec{A: aCol, B: bCol, Op: op, Cross: false}, nil
+	}
+}
+
+// parseTerm splits "t.Col" / "t'.Col"; prime reports whether the term
+// references the second tuple.
+func parseTerm(s string) (prime bool, col string, err error) {
+	dot := strings.Index(s, ".")
+	if dot < 0 {
+		return false, "", fmt.Errorf("predicate: term %q has no tuple variable (want t.Col or t'.Col)", s)
+	}
+	v, col := s[:dot], s[dot+1:]
+	if col == "" {
+		return false, "", fmt.Errorf("predicate: term %q has an empty column name", s)
+	}
+	switch v {
+	case "t", "t1":
+		return false, col, nil
+	case "t'", "t2", "t’":
+		return true, col, nil
+	}
+	return false, "", fmt.Errorf("predicate: unknown tuple variable %q in term %q (want t/t1 or t'/t2)", v, s)
+}

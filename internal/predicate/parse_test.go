@@ -1,0 +1,78 @@
+package predicate
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestParseDCSpecRoundTrip(t *testing.T) {
+	specs := []DCSpec{
+		{{A: "Zip", B: "Zip", Op: Eq, Cross: true}, {A: "State", B: "State", Op: Neq, Cross: true}},
+		{{A: "State", B: "State", Op: Eq, Cross: true}, {A: "Income", B: "Income", Op: Gt, Cross: true},
+			{A: "Tax", B: "Tax", Op: Leq, Cross: true}},
+		{{A: "High", B: "Low", Op: Lt, Cross: false}},
+	}
+	for _, want := range specs {
+		got, err := ParseDCSpec(want.String())
+		if err != nil {
+			t.Fatalf("%s: %v", want, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("round trip of %s = %v", want, got)
+		}
+	}
+}
+
+func TestParseDCSpecForms(t *testing.T) {
+	cases := []struct {
+		in   string
+		want DCSpec
+	}{
+		// Bare conjunction, no not(...) wrapper.
+		{"t.A = t'.A and t.B != t'.B",
+			DCSpec{{A: "A", B: "A", Op: Eq, Cross: true}, {A: "B", B: "B", Op: Neq, Cross: true}}},
+		// Unicode operators and conjunction.
+		{"not(t.A = t'.A ∧ t.B ≤ t'.B)",
+			DCSpec{{A: "A", B: "A", Op: Eq, Cross: true}, {A: "B", B: "B", Op: Leq, Cross: true}}},
+		// t1/t2 variables (DCFinder notation).
+		{"t1.A = t2.A", DCSpec{{A: "A", B: "A", Op: Eq, Cross: true}}},
+		// Second tuple on the left mirrors the operator.
+		{"t'.A < t.B", DCSpec{{A: "B", B: "A", Op: Gt, Cross: true}}},
+		// && and <> spellings.
+		{"t.A <> t'.A && t.B == t'.B",
+			DCSpec{{A: "A", B: "A", Op: Neq, Cross: true}, {A: "B", B: "B", Op: Eq, Cross: true}}},
+	}
+	for _, tc := range cases {
+		got, err := ParseDCSpec(tc.in)
+		if err != nil {
+			t.Errorf("%q: %v", tc.in, err)
+			continue
+		}
+		if !reflect.DeepEqual(got, tc.want) {
+			t.Errorf("%q = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestParseDCSpecErrors(t *testing.T) {
+	for _, in := range []string{
+		"",
+		"not()",
+		"t.A = ",
+		"t.A ~ t'.A",
+		"x.A = t'.A",
+		"t.A = t'.",
+		"A = B",
+		// Second-tuple-only predicates have no representable form: with an
+		// asymmetric cross-tuple predicate alongside, rewriting them onto t
+		// would change the constraint.
+		"t'.A >= t'.B",
+		// t0 is rejected rather than guessed at: zero-indexed t0/t1 would
+		// silently collide with the one-indexed t1/t2 convention.
+		"t0.A = t1.A",
+	} {
+		if got, err := ParseDCSpec(in); err == nil {
+			t.Errorf("%q parsed to %v, want error", in, got)
+		}
+	}
+}

@@ -1,0 +1,199 @@
+package violation
+
+import (
+	"fmt"
+
+	"adc/internal/dataset"
+	"adc/internal/predicate"
+)
+
+// compiledPred is one predicate of a denial constraint bound to concrete
+// columns of a relation, with a type-specialized evaluator. Unlike
+// predicate.Space, compilation needs no predicate-space generation (and
+// in particular does not apply the 30% common-values rule), so any
+// well-typed user constraint can be checked, not only constraints whose
+// predicates the miner would generate.
+type compiledPred struct {
+	spec  predicate.Spec
+	op    predicate.Operator
+	cross bool
+	a, b  int // column indexes in the relation
+	// eval evaluates the predicate on the ordered tuple pair (i, j).
+	// Single-tuple predicates ignore j.
+	eval func(i, j int) bool
+}
+
+// sameAttrEq reports whether the predicate is a cross-tuple equality on
+// one attribute (t[A] = t'[A]) — the cluster-joinable form the PLI path
+// exploits.
+func (p compiledPred) sameAttrEq() bool {
+	return p.cross && p.op == predicate.Eq && p.a == p.b
+}
+
+// crossColEq reports whether the predicate is a cross-tuple equality
+// over two distinct attributes (t[A] = t'[B]), joinable via merged
+// equality codes.
+func (p compiledPred) crossColEq() bool {
+	return p.cross && p.op == predicate.Eq && p.a != p.b
+}
+
+// selRank orders predicates for the refutation scan: predicates most
+// likely to fail (and thus refute a violation early) come first.
+// Equality is the most selective, then strict order comparisons, then
+// their non-strict forms; inequality almost always holds and goes last.
+func selRank(op predicate.Operator) int {
+	switch op {
+	case predicate.Eq:
+		return 0
+	case predicate.Lt, predicate.Gt:
+		return 1
+	case predicate.Leq, predicate.Geq:
+		return 2
+	default: // Neq
+		return 3
+	}
+}
+
+// compileDC resolves every predicate of a relation-independent DCSpec
+// against rel. It fails on unknown columns, order operators over string
+// columns, and comparisons across broad kinds (numeric vs string).
+func compileDC(rel *dataset.Relation, spec predicate.DCSpec) ([]compiledPred, error) {
+	if len(spec) == 0 {
+		return nil, fmt.Errorf("violation: empty DC (a constraint needs at least one predicate)")
+	}
+	out := make([]compiledPred, 0, len(spec))
+	for _, sp := range spec {
+		p, err := compileSpec(rel, sp)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+func compileSpec(rel *dataset.Relation, sp predicate.Spec) (compiledPred, error) {
+	ai := rel.ColumnIndex(sp.A)
+	if ai < 0 {
+		return compiledPred{}, fmt.Errorf("violation: %s: relation %q has no column %q", sp, rel.Name, sp.A)
+	}
+	bi := rel.ColumnIndex(sp.B)
+	if bi < 0 {
+		return compiledPred{}, fmt.Errorf("violation: %s: relation %q has no column %q", sp, rel.Name, sp.B)
+	}
+	ca, cb := rel.Columns[ai], rel.Columns[bi]
+	numeric := ca.Type.Numeric() && cb.Type.Numeric()
+	if !numeric {
+		if ca.Type.Numeric() != cb.Type.Numeric() {
+			return compiledPred{}, fmt.Errorf("violation: %s compares %s column %q with %s column %q",
+				sp, ca.Type, sp.A, cb.Type, sp.B)
+		}
+		if sp.Op != predicate.Eq && sp.Op != predicate.Neq {
+			return compiledPred{}, fmt.Errorf("violation: %s: order operator %s on string columns", sp, sp.Op)
+		}
+	}
+	p := compiledPred{spec: sp, op: sp.Op, cross: sp.Cross, a: ai, b: bi}
+	op := sp.Op
+	switch {
+	case ca.Type == dataset.Int && cb.Type == dataset.Int:
+		av, bv := ca.Ints, cb.Ints
+		if sp.Cross {
+			p.eval = func(i, j int) bool { return evalInt(op, av[i], bv[j]) }
+		} else {
+			p.eval = func(i, _ int) bool { return evalInt(op, av[i], bv[i]) }
+		}
+	case numeric:
+		// Mixed int/float or float/float: compare through the numeric
+		// view, mirroring predicate.Space.Eval.
+		if sp.Cross {
+			p.eval = func(i, j int) bool { return op.EvalNum(ca.Num(i), cb.Num(j)) }
+		} else {
+			p.eval = func(i, _ int) bool { return op.EvalNum(ca.Num(i), cb.Num(i)) }
+		}
+	case ai == bi:
+		// One string column compared with itself: dictionary codes decide
+		// equality without touching the strings.
+		codes := ca.Codes
+		if op == predicate.Eq {
+			p.eval = func(i, j int) bool { return codes[i] == codes[j] }
+		} else {
+			p.eval = func(i, j int) bool { return codes[i] != codes[j] }
+		}
+		if !sp.Cross { // t[A] ρ t[A]: constant per row
+			if op == predicate.Eq {
+				p.eval = func(_, _ int) bool { return true }
+			} else {
+				p.eval = func(_, _ int) bool { return false }
+			}
+		}
+	default:
+		// Distinct string columns: dictionaries are per column, so compare
+		// the raw strings (as dataset.Column.EqualCross does).
+		as, bs := ca.Strings, cb.Strings
+		eq := op == predicate.Eq
+		if sp.Cross {
+			p.eval = func(i, j int) bool { return (as[i] == bs[j]) == eq }
+		} else {
+			p.eval = func(i, _ int) bool { return (as[i] == bs[i]) == eq }
+		}
+	}
+	return p, nil
+}
+
+func evalInt(op predicate.Operator, a, b int64) bool {
+	switch op {
+	case predicate.Eq:
+		return a == b
+	case predicate.Neq:
+		return a != b
+	case predicate.Lt:
+		return a < b
+	case predicate.Leq:
+		return a <= b
+	case predicate.Gt:
+		return a > b
+	default: // Geq
+		return a >= b
+	}
+}
+
+// splitPreds separates single-tuple predicates (which depend only on the
+// first tuple and fold into a per-row mask) from cross-tuple predicates,
+// which are returned ordered most-selective-first for early exit.
+func splitPreds(preds []compiledPred) (singles, cross []compiledPred) {
+	for _, p := range preds {
+		if p.cross {
+			cross = append(cross, p)
+		} else {
+			singles = append(singles, p)
+		}
+	}
+	// Stable insertion sort by selectivity rank; predicate lists are tiny.
+	for i := 1; i < len(cross); i++ {
+		for k := i; k > 0 && selRank(cross[k].op) < selRank(cross[k-1].op); k-- {
+			cross[k], cross[k-1] = cross[k-1], cross[k]
+		}
+	}
+	return singles, cross
+}
+
+// singleMask evaluates all single-tuple predicates once per row. A row
+// with a false entry can never be the first tuple of a violating pair.
+// Returns nil when there are no single-tuple predicates.
+func singleMask(n int, singles []compiledPred) []bool {
+	if len(singles) == 0 {
+		return nil
+	}
+	mask := make([]bool, n)
+	for i := range mask {
+		ok := true
+		for _, p := range singles {
+			if !p.eval(i, i) {
+				ok = false
+				break
+			}
+		}
+		mask[i] = ok
+	}
+	return mask
+}

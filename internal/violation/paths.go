@@ -1,0 +1,394 @@
+package violation
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"adc/internal/dataset"
+	"adc/internal/pli"
+)
+
+// collector accumulates the violating ordered pairs of one DC together
+// with per-tuple participation counts (each ordered pair contributes to
+// both endpoints, matching the vios structure of the evidence set).
+// With a positive cap, only the lexicographically smallest cap pairs
+// are retained (kept sorted by bounded insertion), so memory stays
+// O(cap) per worker no matter how dirty the relation is; counts and the
+// violation total remain exact.
+type collector struct {
+	pairs      [][2]int
+	cap        int
+	counts     []int64
+	violations int64
+}
+
+func newCollector(n, cap int) *collector {
+	return &collector{counts: make([]int64, n), cap: cap}
+}
+
+func pairLess(a, b [2]int) bool {
+	if a[0] != b[0] {
+		return a[0] < b[0]
+	}
+	return a[1] < b[1]
+}
+
+func (c *collector) add(i, j int) {
+	c.violations++
+	c.counts[i]++
+	c.counts[j]++
+	p := [2]int{i, j}
+	if c.cap == 0 {
+		c.pairs = append(c.pairs, p)
+		return
+	}
+	n := len(c.pairs)
+	if n == c.cap {
+		if !pairLess(p, c.pairs[n-1]) {
+			return
+		}
+		pos := sort.Search(n, func(k int) bool { return pairLess(p, c.pairs[k]) })
+		copy(c.pairs[pos+1:], c.pairs[pos:n-1])
+		c.pairs[pos] = p
+		return
+	}
+	pos := sort.Search(n, func(k int) bool { return pairLess(p, c.pairs[k]) })
+	c.pairs = append(c.pairs, [2]int{})
+	copy(c.pairs[pos+1:], c.pairs[pos:n])
+	c.pairs[pos] = p
+}
+
+// merge folds worker-local collectors into the first one.
+func mergeCollectors(cs []*collector) *collector {
+	base := cs[0]
+	for _, o := range cs[1:] {
+		base.violations += o.violations
+		base.pairs = append(base.pairs, o.pairs...)
+		for t, c := range o.counts {
+			base.counts[t] += c
+		}
+	}
+	return base
+}
+
+func clampWorkers(workers, n int) int {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return workers
+}
+
+// ---- Scan path -----------------------------------------------------------
+
+// scanPairs is the general-case execution path: a refutation scan over
+// all ordered tuple pairs, sharded by first-tuple index across worker
+// goroutines. Predicates arrive most-selective-first, so most pairs are
+// refuted by the first evaluation; rows failing the single-tuple mask
+// skip their entire inner loop.
+func scanPairs(n int, mask []bool, preds []compiledPred, workers, cap int) *collector {
+	workers = clampWorkers(workers, n)
+	if workers == 1 {
+		c := newCollector(n, cap)
+		scanRange(c, 0, n, n, mask, preds)
+		return c
+	}
+	cs := make([]*collector, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		cs[w] = newCollector(n, cap)
+		lo, hi := w*n/workers, (w+1)*n/workers
+		wg.Add(1)
+		go func(c *collector, lo, hi int) {
+			defer wg.Done()
+			scanRange(c, lo, hi, n, mask, preds)
+		}(cs[w], lo, hi)
+	}
+	wg.Wait()
+	return mergeCollectors(cs)
+}
+
+func scanRange(c *collector, lo, hi, n int, mask []bool, preds []compiledPred) {
+	for i := lo; i < hi; i++ {
+		if mask != nil && !mask[i] {
+			continue
+		}
+		for j := 0; j < n; j++ {
+			if j == i {
+				continue
+			}
+			sat := true
+			for k := range preds {
+				if !preds[k].eval(i, j) {
+					sat = false
+					break
+				}
+			}
+			if sat {
+				c.add(i, j)
+			}
+		}
+	}
+}
+
+// ---- PLI path ------------------------------------------------------------
+
+// pliCache shares per-column position list indexes across the DCs of one
+// Check call.
+type pliCache struct {
+	rel *dataset.Relation
+	idx []*pli.Index
+}
+
+func newPLICache(rel *dataset.Relation) *pliCache {
+	return &pliCache{rel: rel, idx: make([]*pli.Index, rel.NumColumns())}
+}
+
+func (c *pliCache) index(col int) *pli.Index {
+	if c.idx[col] == nil {
+		c.idx[col] = pli.ForColumn(c.rel.Columns[col])
+	}
+	return c.idx[col]
+}
+
+// pliPlan is the prepared cluster-intersection join for one DC. Exactly
+// one of groups (same-attribute equality join, possibly composite) or
+// probe/build (cross-column equality join) is populated. residual holds
+// the cross-tuple predicates not consumed by the join, ordered
+// most-selective-first. candPairs estimates the ordered candidate pairs
+// the join emits; the cost heuristic compares it against the full n²
+// scan.
+type pliPlan struct {
+	groups    [][]int32
+	probe     []int32
+	build     map[int32][]int32
+	residual  []compiledPred
+	candPairs int64
+}
+
+// preparePLIPlan builds the cluster-intersection join for a DC, or
+// returns nil when the DC has no cross-tuple equality predicate to join
+// on. Same-attribute equalities are preferred: all of them become one
+// composite join key (their PLI clusters are intersected exactly).
+// Otherwise one cross-column equality is joined via merged codes and the
+// rest stay residual.
+func preparePLIPlan(cache *pliCache, cross []compiledPred) *pliPlan {
+	var joinCols []int
+	seen := map[int]bool{}
+	for _, p := range cross {
+		if p.sameAttrEq() && !seen[p.a] {
+			seen[p.a] = true
+			joinCols = append(joinCols, p.a)
+		}
+	}
+	if len(joinCols) > 0 {
+		plan := &pliPlan{groups: sameAttrGroups(cache, joinCols)}
+		for _, p := range cross {
+			if !p.sameAttrEq() {
+				plan.residual = append(plan.residual, p)
+			}
+		}
+		for _, g := range plan.groups {
+			plan.candPairs += int64(len(g)) * int64(len(g)-1)
+		}
+		return plan
+	}
+
+	// No same-attribute equality: join on the cross-column equality with
+	// the fewest candidate pairs, if any.
+	best := -1
+	var bestPairs int64
+	var bestProbe []int32
+	var bestBuild map[int32][]int32
+	for k, p := range cross {
+		if !p.crossColEq() {
+			continue
+		}
+		probe, build, cand := crossColJoin(cache.rel, p.a, p.b)
+		if best < 0 || cand < bestPairs {
+			best, bestPairs, bestProbe, bestBuild = k, cand, probe, build
+		}
+	}
+	if best < 0 {
+		return nil
+	}
+	plan := &pliPlan{probe: bestProbe, build: bestBuild, candPairs: bestPairs}
+	for k, p := range cross {
+		if k != best {
+			plan.residual = append(plan.residual, p)
+		}
+	}
+	return plan
+}
+
+// sameAttrGroups intersects the PLI clusters of the join columns: rows
+// end up in the same group iff they agree on every join column. Groups
+// of fewer than two rows cannot form a pair and are dropped.
+func sameAttrGroups(cache *pliCache, cols []int) [][]int32 {
+	idx0 := cache.index(cols[0])
+	groups := make([][]int32, 0, len(idx0.Clusters))
+	for _, cl := range idx0.Clusters {
+		if len(cl) >= 2 {
+			groups = append(groups, cl)
+		}
+	}
+	for _, col := range cols[1:] {
+		clusterOf := cache.index(col).ClusterOf
+		var next [][]int32
+		for _, g := range groups {
+			parts := make(map[int32][]int32)
+			for _, r := range g {
+				parts[clusterOf[r]] = append(parts[clusterOf[r]], r)
+			}
+			for _, sub := range parts {
+				if len(sub) >= 2 {
+					next = append(next, sub)
+				}
+			}
+		}
+		groups = next
+	}
+	return groups
+}
+
+// crossColJoin prepares a t[A] = t'[B] join: shared equality codes for
+// both columns, a build-side index from code to rows of B, and the
+// candidate-pair estimate Σᵢ |build[probe[i]]| (the estimate includes
+// the i = j probes, which the executor skips).
+func crossColJoin(rel *dataset.Relation, a, b int) (probe []int32, build map[int32][]int32, cand int64) {
+	var ca, cb []int32
+	if rel.Columns[a].Type.Numeric() {
+		ca, cb = pli.MergedRanks(rel.Columns[a], rel.Columns[b])
+	} else {
+		ca, cb = pli.MergedCodes(rel.Columns[a], rel.Columns[b])
+	}
+	build = make(map[int32][]int32)
+	for j, code := range cb {
+		build[code] = append(build[code], int32(j))
+	}
+	for _, code := range ca {
+		cand += int64(len(build[code]))
+	}
+	return ca, build, cand
+}
+
+// runPLI executes a prepared plan: candidate pairs from the equality
+// join, residual predicates checked with early exit. Group work (or the
+// probe side) is distributed across workers via an atomic cursor, so one
+// giant cluster cannot starve the pool.
+func runPLI(plan *pliPlan, n int, mask []bool, workers, cap int) *collector {
+	workers = clampWorkers(workers, n)
+	if plan.build == nil { // same-attribute join (groups may be empty)
+		return runGroups(plan, n, mask, workers, cap)
+	}
+	return runProbe(plan, n, mask, workers, cap)
+}
+
+func runGroups(plan *pliPlan, n int, mask []bool, workers, cap int) *collector {
+	if workers > len(plan.groups) {
+		workers = len(plan.groups)
+	}
+	if workers <= 1 {
+		c := newCollector(n, cap)
+		for _, g := range plan.groups {
+			groupPairs(c, g, mask, plan.residual)
+		}
+		return c
+	}
+	cs := make([]*collector, workers)
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		cs[w] = newCollector(n, cap)
+		wg.Add(1)
+		go func(c *collector) {
+			defer wg.Done()
+			for {
+				k := int(cursor.Add(1)) - 1
+				if k >= len(plan.groups) {
+					return
+				}
+				groupPairs(c, plan.groups[k], mask, plan.residual)
+			}
+		}(cs[w])
+	}
+	wg.Wait()
+	return mergeCollectors(cs)
+}
+
+func groupPairs(c *collector, g []int32, mask []bool, residual []compiledPred) {
+	for ai, i32 := range g {
+		i := int(i32)
+		if mask != nil && !mask[i] {
+			continue
+		}
+		for bi, j32 := range g {
+			if ai == bi {
+				continue
+			}
+			j := int(j32)
+			sat := true
+			for k := range residual {
+				if !residual[k].eval(i, j) {
+					sat = false
+					break
+				}
+			}
+			if sat {
+				c.add(i, j)
+			}
+		}
+	}
+}
+
+func runProbe(plan *pliPlan, n int, mask []bool, workers, cap int) *collector {
+	if workers <= 1 {
+		c := newCollector(n, cap)
+		probeRange(c, 0, n, plan, mask)
+		return c
+	}
+	cs := make([]*collector, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		cs[w] = newCollector(n, cap)
+		lo, hi := w*n/workers, (w+1)*n/workers
+		wg.Add(1)
+		go func(c *collector, lo, hi int) {
+			defer wg.Done()
+			probeRange(c, lo, hi, plan, mask)
+		}(cs[w], lo, hi)
+	}
+	wg.Wait()
+	return mergeCollectors(cs)
+}
+
+func probeRange(c *collector, lo, hi int, plan *pliPlan, mask []bool) {
+	for i := lo; i < hi; i++ {
+		if mask != nil && !mask[i] {
+			continue
+		}
+		for _, j32 := range plan.build[plan.probe[i]] {
+			j := int(j32)
+			if j == i {
+				continue
+			}
+			sat := true
+			for k := range plan.residual {
+				if !plan.residual[k].eval(i, j) {
+					sat = false
+					break
+				}
+			}
+			if sat {
+				c.add(i, j)
+			}
+		}
+	}
+}

@@ -1,0 +1,108 @@
+package violation
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"adc/internal/datagen"
+	"adc/internal/predicate"
+)
+
+// TestPathsAgreeOnGeneratedData dirties generated Table 4 datasets and
+// asserts that, for every golden DC, the PLI cluster-intersection path
+// and the parallel refutation scan return identical violation sets —
+// and that both match the O(n²·|P|) reference evaluator where the
+// mined predicate space contains the constraint.
+func TestPathsAgreeOnGeneratedData(t *testing.T) {
+	for _, name := range []string{"tax", "stock", "food"} {
+		d, err := datagen.ByName(name, 60, 11)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(17))
+		dirty := datagen.AddNoise(d.Rel, datagen.Spread, 0.02, rng)
+		space := predicate.Build(dirty, predicate.DefaultOptions())
+
+		pliRep, err := Check(dirty, d.Golden, Options{Path: PathPLI})
+		if err != nil {
+			t.Fatalf("%s/pli: %v", name, err)
+		}
+		scanRep, err := Check(dirty, d.Golden, Options{Path: PathScan, Workers: 3})
+		if err != nil {
+			t.Fatalf("%s/scan: %v", name, err)
+		}
+		autoRep, err := Check(dirty, d.Golden, Options{})
+		if err != nil {
+			t.Fatalf("%s/auto: %v", name, err)
+		}
+
+		injected := int64(0)
+		for k := range d.Golden {
+			p, s, a := pliRep.Results[k], scanRep.Results[k], autoRep.Results[k]
+			if !reflect.DeepEqual(p.Pairs, s.Pairs) {
+				t.Errorf("%s: %s: pli %d pairs != scan %d pairs",
+					name, d.Golden[k], len(p.Pairs), len(s.Pairs))
+			}
+			if !reflect.DeepEqual(a.Pairs, s.Pairs) {
+				t.Errorf("%s: %s: auto disagrees with scan", name, d.Golden[k])
+			}
+			if !reflect.DeepEqual(p.TupleCounts, s.TupleCounts) {
+				t.Errorf("%s: %s: tuple counts differ between paths", name, d.Golden[k])
+			}
+			if p.LossF1 != s.LossF1 || p.LossF2 != s.LossF2 || p.LossF3 != s.LossF3 {
+				t.Errorf("%s: %s: losses differ between paths", name, d.Golden[k])
+			}
+			injected += s.Violations
+
+			// The dirtied column pair may fall below the 30% rule, in which
+			// case the mined space has no reference predicate to compare to.
+			dc, err := predicate.FromSpecs(space, d.Golden[k])
+			if err != nil {
+				continue
+			}
+			if got, want := s.Pairs, dc.ViolatingPairs(); !pairsEqual(got, want) {
+				t.Errorf("%s: %s: checker %d pairs, reference %d",
+					name, d.Golden[k], len(got), len(want))
+			}
+		}
+		if injected == 0 {
+			t.Errorf("%s: noise injected no violations; test is vacuous", name)
+		}
+	}
+}
+
+func pairsEqual(a, b [][2]int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestCleanDataHasNoViolations pins the baseline the noise tests rely
+// on: golden DCs hold exactly on freshly generated data.
+func TestCleanDataHasNoViolations(t *testing.T) {
+	for _, name := range []string{"tax", "stock", "hospital"} {
+		d, err := datagen.ByName(name, 50, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := Check(d.Rel, d.Golden, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rep.Clean {
+			for _, res := range rep.Results {
+				if res.Violations > 0 {
+					t.Errorf("%s: golden DC %s has %d violations on clean data",
+						name, res.Spec, res.Violations)
+				}
+			}
+		}
+	}
+}
