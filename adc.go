@@ -49,6 +49,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"sync"
 	"time"
 
 	"adc/internal/approx"
@@ -157,6 +158,13 @@ type Options struct {
 	ChooseMinIntersection bool
 	// Seed drives the sampler; runs with equal seeds are reproducible.
 	Seed int64
+	// Cache, when set, reuses the sampled relation, predicate space, and
+	// evidence set of earlier Mine calls with compatible options on the
+	// same relation — the expensive components 1–3 of ADCMiner — so that
+	// re-mining with a different epsilon, algorithm, or approximation
+	// function pays only for enumeration. A MineCache is bound to one
+	// relation; never share it across relations.
+	Cache *MineCache
 }
 
 // Result is the outcome of a mining run.
@@ -218,16 +226,27 @@ func Mine(rel *Relation, opts Options) (*Result, error) {
 		return nil, errors.New(`adc: algorithm "mmcs" mines valid DCs only; use Epsilon 0`)
 	}
 
+	popts := opts.Predicates
+	if popts == (PredicateOptions{}) {
+		popts = predicate.DefaultOptions()
+	}
+
 	res := &Result{SampleRows: rel.NumRows()}
 	start := time.Now()
+
+	cached := opts.Cache.lookup(opts, popts)
 
 	// Component 2 (sampler) runs before the space so the 30% rule and
 	// evidence see the same tuples.
 	data := rel
 	t0 := time.Now()
 	if opts.SampleFraction > 0 && opts.SampleFraction < 1 {
-		rng := rand.New(rand.NewSource(opts.Seed))
-		data = rel.Sample(opts.SampleFraction, rng)
+		if cached != nil {
+			data = cached.data
+		} else {
+			rng := rand.New(rand.NewSource(opts.Seed))
+			data = rel.Sample(opts.SampleFraction, rng)
+		}
 		if data.NumRows() < 2 {
 			return nil, fmt.Errorf("adc: sample of %v of %d rows is too small",
 				opts.SampleFraction, rel.NumRows())
@@ -245,19 +264,29 @@ func Mine(rel *Relation, opts Options) (*Result, error) {
 
 	// Component 1: predicate space.
 	t0 = time.Now()
-	popts := opts.Predicates
-	if popts == (PredicateOptions{}) {
-		popts = predicate.DefaultOptions()
+	var space *PredicateSpace
+	if cached != nil {
+		space = cached.space
+	} else {
+		space = predicate.Build(data, popts)
 	}
-	space := predicate.Build(data, popts)
 	res.Space = space
 	res.PredicateSpaceTime = time.Since(t0)
 
-	// Component 3: evidence set.
+	// Component 3: evidence set. A cached set is reusable when it has at
+	// least the structure this run needs: vios-bearing evidence serves
+	// vios-free functions, not the reverse.
 	t0 = time.Now()
-	ev, err := builder.Build(space, f.NeedsVios())
-	if err != nil {
-		return nil, err
+	needsVios := f.NeedsVios()
+	var ev *EvidenceSet
+	if cached != nil && (cached.ev.HasVios() || !needsVios) {
+		ev = cached.ev
+	} else {
+		ev, err = builder.Build(space, needsVios)
+		if err != nil {
+			return nil, err
+		}
+		opts.Cache.store(opts, popts, &mineEntry{data: data, space: space, ev: ev, sampled: data != rel})
 	}
 	res.Evidence = ev
 	res.EvidenceTime = time.Since(t0)
@@ -309,6 +338,90 @@ func evidenceBuilder(name string) (evidence.Builder, error) {
 	return nil, fmt.Errorf("adc: unknown evidence builder %q (want fast, parallel, or naive)", name)
 }
 
+// MineCache caches the expensive intermediates of Mine — the sampled
+// relation, the predicate space, and the evidence set — keyed by the
+// options that determine them (predicate options, sample fraction and
+// seed, evidence builder). Re-mining the same relation with a different
+// epsilon, algorithm, or approximation function then pays only for
+// enumeration. Safe for concurrent use; bound to one relation.
+type MineCache struct {
+	mu      sync.Mutex
+	entries map[string]*mineEntry
+}
+
+type mineEntry struct {
+	data  *Relation
+	space *PredicateSpace
+	ev    *EvidenceSet
+	// sampled records whether data is a cache-owned sample; when false,
+	// data aliases the caller's relation and is not cache footprint.
+	sampled bool
+}
+
+// NewMineCache creates an empty cache for use as Options.Cache across
+// Mine calls on one relation.
+func NewMineCache() *MineCache {
+	return &MineCache{entries: make(map[string]*mineEntry)}
+}
+
+// mineKey identifies the cached intermediates a run can reuse: the
+// predicate options, the effective sample (fraction and seed, or the
+// full relation), and the evidence builder.
+func mineKey(opts Options, popts PredicateOptions) string {
+	sample := "full"
+	if opts.SampleFraction > 0 && opts.SampleFraction < 1 {
+		sample = fmt.Sprintf("frac=%g,seed=%d", opts.SampleFraction, opts.Seed)
+	}
+	builder := opts.Evidence
+	if builder == "" {
+		builder = "fast"
+	}
+	return fmt.Sprintf("%+v|%s|%s", popts, sample, builder)
+}
+
+func (c *MineCache) lookup(opts Options, popts PredicateOptions) *mineEntry {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.entries[mineKey(opts, popts)]
+}
+
+// store publishes an entry, preferring the structurally richer evidence
+// set when racing builds land on the same key: a vios-bearing set
+// serves every later run, a vios-free one only pair-based functions.
+func (c *MineCache) store(opts Options, popts PredicateOptions, e *mineEntry) {
+	if c == nil {
+		return
+	}
+	key := mineKey(opts, popts)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if prior, ok := c.entries[key]; ok && prior.ev.HasVios() && !e.ev.HasVios() {
+		return
+	}
+	c.entries[key] = e
+}
+
+// MemBytes estimates the heap footprint of the cached evidence sets and
+// sampled relations, for cache accounting.
+func (c *MineCache) MemBytes() int64 {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var b int64
+	for _, e := range c.entries {
+		b += e.ev.MemBytes()
+		if e.sampled {
+			b += e.data.MemBytes()
+		}
+	}
+	return b
+}
+
 // Loss evaluates 1 − f(D, Sϕ) for a DC against an evidence set, using
 // the named approximation function. Convenience for scoring individual
 // constraints (for example golden DCs) outside a mining run.
@@ -356,6 +469,17 @@ const (
 	PLIPath  = violation.PathPLI
 	ScanPath = violation.PathScan
 )
+
+// Checker binds a relation to reusable checking state: per-column
+// position list indexes and per-DC compiled plans, both built at most
+// once and shared by every later Check/Validate/Repair call. It is the
+// unit of caching behind cmd/dcserved's dataset sessions and is safe
+// for concurrent use; one-shot callers can stay with the package-level
+// Violations/Validate/Repair, which run on a throwaway Checker.
+type Checker = violation.Checker
+
+// NewChecker creates a Checker over the relation with empty caches.
+var NewChecker = violation.NewChecker
 
 // Violations enumerates, for every DC, the ordered tuple pairs of the
 // relation that violate it, with per-tuple violation counts and the DC's

@@ -1,0 +1,69 @@
+package adc
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestCheckUnknownColumnErrors covers the compile-side error paths of
+// constraint application: specs referencing columns the relation lacks,
+// order operators on string columns, and cross-kind comparisons must
+// fail with errors naming the offending predicate, through every public
+// entry point (Violations, Validate, Repair, and a long-lived Checker).
+func TestCheckUnknownColumnErrors(t *testing.T) {
+	rel := RunningExample() // FName/LName/Gender/AreaCode/Phone/City/State/Zip/...
+	cases := []struct {
+		name, dc, want string
+	}{
+		{"unknown column", "not(t.Nope = t'.Nope)", `no column "Nope"`},
+		{"one unknown of two", "not(t.State = t'.State and t.Missing != t'.Missing)", `no column "Missing"`},
+		{"order on strings", "not(t.State < t'.State)", "order operator"},
+		{"string vs numeric", "not(t.State = t'.Zip)", "column"},
+	}
+	for _, tc := range cases {
+		spec, err := ParseDCSpec(tc.dc)
+		if err != nil {
+			t.Fatalf("%s: parse: %v", tc.name, err)
+		}
+		specs := []DCSpec{spec}
+
+		if _, err := Violations(rel, specs, CheckOptions{}); err == nil {
+			t.Errorf("%s: Violations succeeded", tc.name)
+		} else if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: Violations error %q does not mention %q", tc.name, err, tc.want)
+		}
+		if _, err := Validate(rel, specs, "f1", 0, CheckOptions{}); err == nil {
+			t.Errorf("%s: Validate succeeded", tc.name)
+		}
+		if _, err := Repair(rel, specs, CheckOptions{}); err == nil {
+			t.Errorf("%s: Repair succeeded", tc.name)
+		}
+		if _, err := NewChecker(rel).Check(specs, CheckOptions{}); err == nil {
+			t.Errorf("%s: Checker.Check succeeded", tc.name)
+		}
+	}
+
+	// A failing spec does not poison the Checker: a later valid check on
+	// the same instance still works.
+	c := NewChecker(rel)
+	bad, _ := ParseDCSpec("not(t.Nope = t'.Nope)")
+	if _, err := c.Check([]DCSpec{bad}, CheckOptions{}); err == nil {
+		t.Fatal("bad spec succeeded")
+	}
+	good, _ := ParseDCSpec("not(t.Zip = t'.Zip and t.State != t'.State)")
+	if _, err := c.Check([]DCSpec{good}, CheckOptions{}); err != nil {
+		t.Fatalf("valid check after failed one: %v", err)
+	}
+}
+
+// TestCheckEmptyDCError: an empty constraint is rejected, not treated
+// as vacuously violated everywhere.
+func TestCheckEmptyDCError(t *testing.T) {
+	rel := RunningExample()
+	if _, err := Violations(rel, []DCSpec{{}}, CheckOptions{}); err == nil {
+		t.Fatal("empty DC accepted")
+	}
+	if _, err := Violations(nil, nil, CheckOptions{}); err == nil {
+		t.Fatal("nil relation accepted")
+	}
+}

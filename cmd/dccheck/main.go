@@ -14,17 +14,26 @@
 //	dccheck -input data.csv -mine -eps 0.001 -repair -json
 //
 // Exit status: 0 when every constraint passes (no violations, or loss ≤
-// -eps when set), 1 when at least one fails, 2 on usage or data errors.
+// -eps when set), 1 when at least one fails, 2 on usage or data errors,
+// 130 on SIGINT/SIGTERM. Output is buffered; an interrupt flushes
+// whatever portion of the report was already produced instead of
+// dropping it (the signal handling is shared with dcserved's graceful
+// shutdown via internal/sigctx).
 package main
 
 import (
+	"bufio"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
+	"sync"
 
 	"adc"
+	"adc/internal/sigctx"
 )
 
 type multiFlag []string
@@ -35,92 +44,159 @@ func (m *multiFlag) Set(s string) error {
 	return nil
 }
 
+// config carries the parsed flags into the checking goroutine.
+type config struct {
+	input    string
+	header   bool
+	dcFlags  []string
+	dcsFile  string
+	mine     bool
+	fn       string
+	eps      float64
+	maxPreds int
+	seed     int64
+	path     string
+	workers  int
+	maxPairs int
+	top      int
+	repair   bool
+	asJSON   bool
+}
+
 func main() {
 	var dcFlags multiFlag
-	var (
-		input    = flag.String("input", "", "input CSV file (required)")
-		header   = flag.Bool("header", true, "first CSV record is the header")
-		dcsFile  = flag.String("dcs", "", "file of constraints, one per line (# comments)")
-		mine     = flag.Bool("mine", false, "mine ADCs from the input and check those")
-		fn       = flag.String("approx", "f1", "approximation function deciding pass/fail: f1, f2, or f3")
-		eps      = flag.Float64("eps", 0, "pass a DC when its loss is at most eps (0 = require no violations); also the mining threshold with -mine")
-		maxPreds = flag.Int("max-preds", 4, "maximum predicates per mined DC (-mine)")
-		seed     = flag.Int64("seed", 1, "mining seed (-mine)")
-		path     = flag.String("path", "auto", "execution path: auto, pli, or scan")
-		workers  = flag.Int("workers", 0, "worker goroutines per DC (0 = GOMAXPROCS)")
-		maxPairs = flag.Int("max-pairs", 10, "violating pairs shown per DC (0 = all)")
-		top      = flag.Int("top", 5, "dirtiest tuples shown (0 = none)")
-		repair   = flag.Bool("repair", false, "compute a greedy repair set")
-		asJSON   = flag.Bool("json", false, "emit a JSON report instead of text")
-	)
+	var cfg config
+	flag.StringVar(&cfg.input, "input", "", "input CSV file (required)")
+	flag.BoolVar(&cfg.header, "header", true, "first CSV record is the header")
+	flag.StringVar(&cfg.dcsFile, "dcs", "", "file of constraints, one per line (# comments)")
+	flag.BoolVar(&cfg.mine, "mine", false, "mine ADCs from the input and check those")
+	flag.StringVar(&cfg.fn, "approx", "f1", "approximation function deciding pass/fail: f1, f2, or f3")
+	flag.Float64Var(&cfg.eps, "eps", 0, "pass a DC when its loss is at most eps (0 = require no violations); also the mining threshold with -mine")
+	flag.IntVar(&cfg.maxPreds, "max-preds", 4, "maximum predicates per mined DC (-mine)")
+	flag.Int64Var(&cfg.seed, "seed", 1, "mining seed (-mine)")
+	flag.StringVar(&cfg.path, "path", "auto", "execution path: auto, pli, or scan")
+	flag.IntVar(&cfg.workers, "workers", 0, "worker goroutines per DC (0 = GOMAXPROCS)")
+	flag.IntVar(&cfg.maxPairs, "max-pairs", 10, "violating pairs shown per DC (0 = all)")
+	flag.IntVar(&cfg.top, "top", 5, "dirtiest tuples shown (0 = none)")
+	flag.BoolVar(&cfg.repair, "repair", false, "compute a greedy repair set")
+	flag.BoolVar(&cfg.asJSON, "json", false, "emit a JSON report instead of text")
 	flag.Var(&dcFlags, "dc", "constraint in paper notation (repeatable)")
 	flag.Parse()
-	if *input == "" {
+	cfg.dcFlags = dcFlags
+	if cfg.input == "" {
 		fmt.Fprintln(os.Stderr, "dccheck: -input is required")
 		flag.Usage()
 		os.Exit(2)
 	}
 
-	rel, err := adc.ReadCSVFile(*input, *header)
-	if err != nil {
-		fail(err)
+	ctx, stop := sigctx.NotifyContext(context.Background())
+	defer stop()
+
+	// The report is buffered and flushed exactly once, whether the run
+	// finishes or a signal lands mid-report: without this, an interrupt
+	// during a large -json report (for example, piped to a consumer that
+	// sends SIGINT once it has seen enough) dropped the buffered tail.
+	out := newSyncWriter(os.Stdout)
+	done := make(chan int, 1)
+	go func() { done <- run(out, cfg) }()
+
+	var code int
+	select {
+	case code = <-done:
+	case <-ctx.Done():
+		code = sigctx.ExitCodeInterrupted
 	}
-	specs, err := gatherSpecs(rel, dcFlags, *dcsFile, *mine, *fn, *eps, *maxPreds, *seed)
+	out.Flush()
+	os.Exit(code)
+}
+
+// syncWriter serializes writes against the final flush so a signal
+// arriving mid-report cannot interleave a flush with a partial write.
+type syncWriter struct {
+	mu sync.Mutex
+	w  *bufio.Writer
+}
+
+func newSyncWriter(w io.Writer) *syncWriter {
+	return &syncWriter{w: bufio.NewWriter(w)}
+}
+
+func (s *syncWriter) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.w.Write(p)
+}
+
+func (s *syncWriter) Flush() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.w.Flush() //nolint:errcheck // exiting either way
+}
+
+// run performs the whole check and returns the process exit code.
+func run(out io.Writer, cfg config) int {
+	rel, err := adc.ReadCSVFile(cfg.input, cfg.header)
 	if err != nil {
-		fail(err)
+		return fail(err)
+	}
+	specs, err := gatherSpecs(rel, cfg)
+	if err != nil {
+		return fail(err)
 	}
 	if len(specs) == 0 {
-		fail(fmt.Errorf("no constraints to check (use -dc, -dcs, or -mine)"))
+		return fail(fmt.Errorf("no constraints to check (use -dc, -dcs, or -mine)"))
 	}
 
 	// One pair enumeration serves the report, the verdicts, and the
 	// repair: -repair needs the full pair lists, so the display cap is
 	// then applied at print time instead of in the checker.
-	opts := adc.CheckOptions{Path: *path, Workers: *workers, MaxPairs: *maxPairs}
-	if *repair {
+	opts := adc.CheckOptions{Path: cfg.path, Workers: cfg.workers, MaxPairs: cfg.maxPairs}
+	if cfg.repair {
 		opts.MaxPairs = 0
 	}
 	rep, err := adc.Violations(rel, specs, opts)
 	if err != nil {
-		fail(err)
+		return fail(err)
 	}
-	verdicts, err := rep.Validations(*fn, *eps)
+	verdicts, err := rep.Validations(cfg.fn, cfg.eps)
 	if err != nil {
-		fail(err)
+		return fail(err)
 	}
 	var rr *adc.RepairResult
-	if *repair {
+	if cfg.repair {
 		if rr, err = adc.RepairFromReport(rel, rep); err != nil {
-			fail(err)
+			return fail(err)
 		}
 	}
 
-	if *asJSON {
-		printJSON(rep, verdicts, rr, *fn, *eps, *top, *maxPairs)
+	if cfg.asJSON {
+		if err := printJSON(out, rep, verdicts, rr, cfg); err != nil {
+			return fail(err)
+		}
 	} else {
-		printText(rep, verdicts, rr, *fn, *eps, *top, *maxPairs)
+		printText(out, rep, verdicts, rr, cfg)
 	}
 	for _, v := range verdicts {
 		if !v.OK {
-			os.Exit(1)
+			return 1
 		}
 	}
+	return 0
 }
 
-func fail(err error) {
+func fail(err error) int {
 	fmt.Fprintln(os.Stderr, "dccheck:", err)
-	os.Exit(2)
+	return 2
 }
 
 // gatherSpecs collects constraints from every configured source.
-func gatherSpecs(rel *adc.Relation, dcFlags []string, dcsFile string, mine bool,
-	fn string, eps float64, maxPreds int, seed int64) ([]adc.DCSpec, error) {
-	specs, err := adc.ParseDCSpecs(dcFlags)
+func gatherSpecs(rel *adc.Relation, cfg config) ([]adc.DCSpec, error) {
+	specs, err := adc.ParseDCSpecs(cfg.dcFlags)
 	if err != nil {
 		return nil, err
 	}
-	if dcsFile != "" {
-		data, err := os.ReadFile(dcsFile)
+	if cfg.dcsFile != "" {
+		data, err := os.ReadFile(cfg.dcsFile)
 		if err != nil {
 			return nil, err
 		}
@@ -131,17 +207,17 @@ func gatherSpecs(rel *adc.Relation, dcFlags []string, dcsFile string, mine bool,
 			}
 			spec, err := adc.ParseDCSpec(line)
 			if err != nil {
-				return nil, fmt.Errorf("%s: %w", dcsFile, err)
+				return nil, fmt.Errorf("%s: %w", cfg.dcsFile, err)
 			}
 			specs = append(specs, spec)
 		}
 	}
-	if mine {
+	if cfg.mine {
 		res, err := adc.Mine(rel, adc.Options{
-			Approx:        fn,
-			Epsilon:       eps,
-			MaxPredicates: maxPreds,
-			Seed:          seed,
+			Approx:        cfg.fn,
+			Epsilon:       cfg.eps,
+			MaxPredicates: cfg.maxPreds,
+			Seed:          cfg.seed,
 		})
 		if err != nil {
 			return nil, err
@@ -164,18 +240,17 @@ func shownPairs(res adc.DCViolations, maxPairs int) ([][2]int, bool) {
 	return pairs, truncated
 }
 
-func printText(rep *adc.ViolationReport, verdicts []adc.DCValidation, rr *adc.RepairResult,
-	fn string, eps float64, top, maxPairs int) {
-	fmt.Printf("checked %d rows against %d DCs: %d violating pairs, %d dirty tuples (pass: %s loss <= %g)\n",
-		rep.NumRows, len(rep.Results), rep.Violations, rep.DirtyTuples(), fn, eps)
+func printText(out io.Writer, rep *adc.ViolationReport, verdicts []adc.DCValidation, rr *adc.RepairResult, cfg config) {
+	fmt.Fprintf(out, "checked %d rows against %d DCs: %d violating pairs, %d dirty tuples (pass: %s loss <= %g)\n",
+		rep.NumRows, len(rep.Results), rep.Violations, rep.DirtyTuples(), cfg.fn, cfg.eps)
 	for k, res := range rep.Results {
 		verdict := "ok  "
 		if !verdicts[k].OK {
 			verdict = "FAIL"
 		}
-		fmt.Printf("[%s %s=%.4g] %s  (%d pairs via %s)\n",
-			verdict, fn, verdicts[k].Loss, res.Spec, res.Violations, res.Path)
-		if pairs, truncated := shownPairs(res, maxPairs); len(pairs) > 0 {
+		fmt.Fprintf(out, "[%s %s=%.4g] %s  (%d pairs via %s)\n",
+			verdict, cfg.fn, verdicts[k].Loss, res.Spec, res.Violations, res.Path)
+		if pairs, truncated := shownPairs(res, cfg.maxPairs); len(pairs) > 0 {
 			parts := make([]string, len(pairs))
 			for i, p := range pairs {
 				parts[i] = fmt.Sprintf("(%d,%d)", p[0], p[1])
@@ -184,20 +259,20 @@ func printText(rep *adc.ViolationReport, verdicts []adc.DCValidation, rr *adc.Re
 			if truncated {
 				suffix = " ..."
 			}
-			fmt.Printf("    %s%s\n", strings.Join(parts, " "), suffix)
+			fmt.Fprintf(out, "    %s%s\n", strings.Join(parts, " "), suffix)
 		}
 	}
-	if top > 0 {
-		if dirty := rep.TopViolating(top); len(dirty) > 0 {
-			fmt.Printf("dirtiest tuples:")
+	if cfg.top > 0 {
+		if dirty := rep.TopViolating(cfg.top); len(dirty) > 0 {
+			fmt.Fprintf(out, "dirtiest tuples:")
 			for _, tc := range dirty {
-				fmt.Printf(" #%d(%d)", tc.Tuple, tc.Count)
+				fmt.Fprintf(out, " #%d(%d)", tc.Tuple, tc.Count)
 			}
-			fmt.Println()
+			fmt.Fprintln(out)
 		}
 	}
 	if rr != nil {
-		fmt.Printf("repair: remove %d of %d tuples: %v\n",
+		fmt.Fprintf(out, "repair: remove %d of %d tuples: %v\n",
 			len(rr.Remove), rep.NumRows, rr.Remove)
 	}
 }
@@ -235,19 +310,18 @@ type jsonReport struct {
 	Repair      []int       `json:"repair,omitempty"`
 }
 
-func printJSON(rep *adc.ViolationReport, verdicts []adc.DCValidation, rr *adc.RepairResult,
-	fn string, eps float64, top, maxPairs int) {
+func printJSON(w io.Writer, rep *adc.ViolationReport, verdicts []adc.DCValidation, rr *adc.RepairResult, cfg config) error {
 	out := jsonReport{
 		Rows:        rep.NumRows,
 		TotalPairs:  rep.TotalPairs,
-		Approx:      fn,
-		Epsilon:     eps,
+		Approx:      cfg.fn,
+		Epsilon:     cfg.eps,
 		Clean:       rep.Clean,
 		Violations:  rep.Violations,
 		DirtyTuples: rep.DirtyTuples(),
 	}
 	for k, res := range rep.Results {
-		pairs, truncated := shownPairs(res, maxPairs)
+		pairs, truncated := shownPairs(res, cfg.maxPairs)
 		out.DCs = append(out.DCs, jsonDC{
 			DC:         res.Spec.String(),
 			Violations: res.Violations,
@@ -261,8 +335,8 @@ func printJSON(rep *adc.ViolationReport, verdicts []adc.DCValidation, rr *adc.Re
 			Truncated:  truncated,
 		})
 	}
-	if top > 0 {
-		for _, tc := range rep.TopViolating(top) {
+	if cfg.top > 0 {
+		for _, tc := range rep.TopViolating(cfg.top) {
 			out.Dirtiest = append(out.Dirtiest, jsonTuple{Tuple: tc.Tuple, Count: tc.Count})
 		}
 	}
@@ -272,9 +346,7 @@ func printJSON(rep *adc.ViolationReport, verdicts []adc.DCValidation, rr *adc.Re
 			out.Repair = []int{}
 		}
 	}
-	enc := json.NewEncoder(os.Stdout)
+	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	if err := enc.Encode(out); err != nil {
-		fail(err)
-	}
+	return enc.Encode(out)
 }

@@ -1,0 +1,90 @@
+// Command dcserved serves denial-constraint mining and checking over
+// HTTP/JSON: register a dataset once, then validate, repair, append,
+// and mine against cached per-dataset state (position list indexes,
+// compiled DC plans, evidence sets) instead of rebuilding them per
+// invocation as the CLIs do.
+//
+// Endpoints:
+//
+//	POST   /datasets                   ingest CSV or generate synthetic data
+//	GET    /datasets                   list registered datasets
+//	GET    /datasets/{id}              dataset info and cache state
+//	DELETE /datasets/{id}              drop a dataset
+//	POST   /datasets/{id}/rows         append rows (incremental index patch)
+//	POST   /datasets/{id}/validate     check DCs (synchronous, cached)
+//	POST   /datasets/{id}/repair       greedy deletion repair (synchronous)
+//	POST   /datasets/{id}/mine         start an async mining job
+//	POST   /datasets/{id}/invalidate   drop the dataset's caches
+//	GET    /jobs/{id}                  poll a mining job
+//	GET    /healthz                    liveness
+//	GET    /metrics                    counters, cache hit rate, latency
+//
+// Usage:
+//
+//	dcserved -addr :8080 -max-datasets 64 -max-mem-mb 1024
+//
+// SIGINT/SIGTERM triggers a graceful shutdown: in-flight requests get
+// -shutdown-grace to finish before the listener is torn down.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"time"
+
+	"adc/internal/server"
+	"adc/internal/sigctx"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", ":8080", "listen address")
+		maxDatasets = flag.Int("max-datasets", 64, "max cached dataset sessions (LRU eviction beyond)")
+		maxMemMB    = flag.Int64("max-mem-mb", 1024, "memory cap in MiB across sessions (LRU eviction beyond)")
+		maxBodyMB   = flag.Int64("max-body-mb", 64, "max request body size in MiB")
+		grace       = flag.Duration("shutdown-grace", 10*time.Second, "graceful shutdown timeout")
+	)
+	flag.Parse()
+
+	srv := server.New(server.Config{
+		MaxDatasets:  *maxDatasets,
+		MaxMemBytes:  *maxMemMB << 20,
+		MaxBodyBytes: *maxBodyMB << 20,
+	})
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := sigctx.NotifyContext(context.Background())
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("dcserved: listening on %s (max %d datasets, %d MiB)", *addr, *maxDatasets, *maxMemMB)
+		errc <- httpSrv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintln(os.Stderr, "dcserved:", err)
+			os.Exit(1)
+		}
+	case <-ctx.Done():
+		stop() // restore default disposition: a second signal kills immediately
+		log.Printf("dcserved: shutting down (grace %s)", *grace)
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), *grace)
+		defer cancel()
+		if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+			log.Printf("dcserved: forced shutdown: %v", err)
+			httpSrv.Close()
+		}
+	}
+}

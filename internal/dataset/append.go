@@ -1,0 +1,101 @@
+package dataset
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// AppendRows returns a new relation consisting of r's rows followed by
+// the given records, each a string value per column in column order.
+// Values are parsed against the existing column types — appending never
+// re-infers or widens a column, so "12x" into an Int column is an
+// error, not a silent conversion to String. The receiver is not
+// modified: columns are rebuilt with copied storage, and for String
+// columns the dictionary is re-derived in first-appearance order, which
+// leaves the codes of existing rows unchanged (incremental PLI
+// extension depends on this stability).
+func (r *Relation) AppendRows(records [][]string) (*Relation, error) {
+	if len(records) == 0 {
+		return r, nil
+	}
+	for k, rec := range records {
+		if len(rec) != len(r.Columns) {
+			return nil, fmt.Errorf("dataset: relation %q: appended row %d has %d fields, want %d",
+				r.Name, k, len(rec), len(r.Columns))
+		}
+	}
+	cols := make([]*Column, len(r.Columns))
+	for j, c := range r.Columns {
+		grown, err := c.appendValues(records, j)
+		if err != nil {
+			return nil, fmt.Errorf("dataset: relation %q: %w", r.Name, err)
+		}
+		cols[j] = grown
+	}
+	return NewRelation(r.Name, cols)
+}
+
+func (c *Column) appendValues(records [][]string, j int) (*Column, error) {
+	n := c.Len()
+	switch c.Type {
+	case Int:
+		v := make([]int64, n, n+len(records))
+		copy(v, c.Ints)
+		for k, rec := range records {
+			x, err := strconv.ParseInt(rec[j], 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("appended row %d: %q is not an int for column %q", k, rec[j], c.Name)
+			}
+			v = append(v, x)
+		}
+		return NewIntColumn(c.Name, v), nil
+	case Float:
+		v := make([]float64, n, n+len(records))
+		copy(v, c.Floats)
+		for k, rec := range records {
+			x, err := strconv.ParseFloat(rec[j], 64)
+			if err != nil {
+				return nil, fmt.Errorf("appended row %d: %q is not a float for column %q", k, rec[j], c.Name)
+			}
+			v = append(v, x)
+		}
+		return NewFloatColumn(c.Name, v), nil
+	default:
+		v := make([]string, n, n+len(records))
+		copy(v, c.Strings)
+		for _, rec := range records {
+			v = append(v, rec[j])
+		}
+		return NewStringColumn(c.Name, v), nil
+	}
+}
+
+// MemBytes estimates the heap footprint of the column: value storage,
+// dictionary codes, and for string columns the string bytes plus a
+// nominal per-entry overhead for headers and the dictionary.
+func (c *Column) MemBytes() int64 {
+	switch c.Type {
+	case Int:
+		return int64(len(c.Ints)) * 8
+	case Float:
+		return int64(len(c.Floats)) * 8
+	default:
+		b := int64(len(c.Codes)) * 4
+		for _, s := range c.Strings {
+			b += int64(len(s)) + 16
+		}
+		for s := range c.dict {
+			b += int64(len(s)) + 24
+		}
+		return b
+	}
+}
+
+// MemBytes estimates the heap footprint of the relation's columns.
+func (r *Relation) MemBytes() int64 {
+	var b int64
+	for _, c := range r.Columns {
+		b += c.MemBytes()
+	}
+	return b
+}

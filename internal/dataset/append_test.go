@@ -1,0 +1,87 @@
+package dataset
+
+import (
+	"reflect"
+	"testing"
+)
+
+func appendFixture() *Relation {
+	return MustNewRelation("r", []*Column{
+		NewStringColumn("City", []string{"A", "B", "A"}),
+		NewIntColumn("Zip", []int64{10, 20, 10}),
+		NewFloatColumn("Rate", []float64{1.5, 2.5, 1.5}),
+	})
+}
+
+func TestAppendRows(t *testing.T) {
+	rel := appendFixture()
+	oldCodes := append([]int32(nil), rel.Columns[0].Codes...)
+
+	grown, err := rel.AppendRows([][]string{
+		{"B", "20", "2.5"},
+		{"C", "30", "3.5"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.NumRows() != 3 {
+		t.Fatalf("receiver mutated: %d rows", rel.NumRows())
+	}
+	if grown.NumRows() != 5 {
+		t.Fatalf("grown has %d rows, want 5", grown.NumRows())
+	}
+	if got := grown.Columns[0].Strings; !reflect.DeepEqual(got, []string{"A", "B", "A", "B", "C"}) {
+		t.Errorf("City = %v", got)
+	}
+	if got := grown.Columns[1].Ints; !reflect.DeepEqual(got, []int64{10, 20, 10, 20, 30}) {
+		t.Errorf("Zip = %v", got)
+	}
+	if got := grown.Columns[2].Floats; !reflect.DeepEqual(got, []float64{1.5, 2.5, 1.5, 2.5, 3.5}) {
+		t.Errorf("Rate = %v", got)
+	}
+	// Dictionary codes of existing rows must be stable (PLI extension
+	// depends on it), and the receiver's codes untouched.
+	if !reflect.DeepEqual(grown.Columns[0].Codes[:3], oldCodes) {
+		t.Errorf("existing codes changed: %v vs %v", grown.Columns[0].Codes[:3], oldCodes)
+	}
+	if !reflect.DeepEqual(rel.Columns[0].Codes, oldCodes) {
+		t.Errorf("receiver codes changed")
+	}
+}
+
+func TestAppendRowsEmpty(t *testing.T) {
+	rel := appendFixture()
+	same, err := rel.AppendRows(nil)
+	if err != nil || same != rel {
+		t.Fatalf("empty append = (%v, %v), want the receiver", same, err)
+	}
+}
+
+func TestAppendRowsErrors(t *testing.T) {
+	rel := appendFixture()
+	cases := [][][]string{
+		{{"A", "10"}},                   // too few fields
+		{{"A", "10", "1.5", "x"}},       // too many fields
+		{{"A", "ten", "1.5"}},           // not an int
+		{{"A", "10", "one-and-a-half"}}, // not a float
+	}
+	for _, recs := range cases {
+		if _, err := rel.AppendRows(recs); err == nil {
+			t.Errorf("AppendRows(%v) succeeded, want error", recs)
+		}
+	}
+}
+
+func TestMemBytes(t *testing.T) {
+	rel := appendFixture()
+	if rel.MemBytes() <= 0 {
+		t.Fatalf("MemBytes = %d, want > 0", rel.MemBytes())
+	}
+	grown, err := rel.AppendRows([][]string{{"D", "40", "4.5"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if grown.MemBytes() <= rel.MemBytes() {
+		t.Fatalf("grown relation not larger: %d vs %d", grown.MemBytes(), rel.MemBytes())
+	}
+}

@@ -187,3 +187,18 @@ func (NaiveBuilder) Build(space *predicate.Space, withVios bool) (*Set, error) {
 	}
 	return acc.finish(), nil
 }
+
+// MemBytes estimates the heap footprint of the evidence set, for cache
+// accounting: bitset words, multiplicities, and the vios maps at a
+// nominal 16 bytes per entry.
+func (s *Set) MemBytes() int64 {
+	var b int64
+	for _, ev := range s.Sets {
+		b += int64(len(ev))*8 + 24
+	}
+	b += int64(len(s.Counts)) * 8
+	for _, m := range s.Vios {
+		b += int64(len(m))*16 + 48
+	}
+	return b
+}

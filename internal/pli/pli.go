@@ -23,6 +23,16 @@ type Index struct {
 	Clusters    [][]int32
 	NumClusters int
 	Numeric     bool
+
+	// NumKeys, for numeric columns, holds the distinct column values in
+	// ascending order, so NumKeys[c] is the value of cluster c. It lets
+	// Store.Extend place appended rows into existing clusters by binary
+	// search instead of rebuilding the index.
+	NumKeys []float64
+	// CodeCluster, for string columns, maps the column's dictionary code
+	// of a value to its cluster ID — the same lookup ForColumn uses to
+	// renumber codes densely, retained for incremental extension.
+	CodeCluster map[int32]int32
 }
 
 // ForColumn builds the index of a column.
@@ -46,6 +56,7 @@ func ForColumn(c *dataset.Column) *Index {
 			if k == 0 || vals[row] != prev {
 				cluster++
 				idx.Clusters = append(idx.Clusters, nil)
+				idx.NumKeys = append(idx.NumKeys, vals[row])
 				prev = vals[row]
 			}
 			idx.ClusterOf[row] = cluster
@@ -69,7 +80,23 @@ func ForColumn(c *dataset.Column) *Index {
 		idx.Clusters[id] = append(idx.Clusters[id], int32(i))
 	}
 	idx.NumClusters = len(idx.Clusters)
+	idx.CodeCluster = remap
 	return idx
+}
+
+// MemBytes estimates the heap footprint of the index, for cache
+// accounting: ClusterOf and the cluster entries at 4 bytes per row,
+// slice headers, numeric keys, and the code map at a nominal 16 bytes
+// per entry.
+func (idx *Index) MemBytes() int64 {
+	b := int64(len(idx.ClusterOf)) * 4
+	b += int64(len(idx.Clusters)) * 24
+	for _, cl := range idx.Clusters {
+		b += int64(len(cl)) * 4
+	}
+	b += int64(len(idx.NumKeys)) * 8
+	b += int64(len(idx.CodeCluster)) * 16
+	return b
 }
 
 // MergedRanks dense-ranks two numeric columns within their merged value

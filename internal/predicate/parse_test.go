@@ -2,6 +2,7 @@ package predicate
 
 import (
 	"reflect"
+	"strings"
 	"testing"
 )
 
@@ -70,9 +71,47 @@ func TestParseDCSpecErrors(t *testing.T) {
 		// t0 is rejected rather than guessed at: zero-indexed t0/t1 would
 		// silently collide with the one-indexed t1/t2 convention.
 		"t0.A = t1.A",
+		// Malformed conjunctions: a missing operand in any predicate
+		// poisons the whole DC.
+		"t.A = t'.A and t.B",
+		"t.A = t'.A and = t'.B",
+		"t.A = t'.A and t.B ! t'.B",
+		// Too many tokens in one predicate.
+		"t.A = t'.A t.B",
+		// Terms without a tuple variable or without a dot.
+		"tA = t'.A",
+		"t.A = B",
+		// Unknown tuple variables beyond t0.
+		"s.A = t'.A",
+		"t3.A = t1.A",
 	} {
 		if got, err := ParseDCSpec(in); err == nil {
 			t.Errorf("%q parsed to %v, want error", in, got)
+		}
+	}
+}
+
+// TestParseDCSpecErrorMessages pins the error surface the server's 400
+// responses expose: the offending token must be quoted so API callers
+// can find it.
+func TestParseDCSpecErrorMessages(t *testing.T) {
+	cases := []struct {
+		in, want string
+	}{
+		{"t.A ~ t'.A", "~"},
+		{"x.A = t'.A", `"x"`},
+		{"t.A = t'.", "empty column name"},
+		{"A = B", "no tuple variable"},
+		{"t'.A >= t'.B", "second tuple"},
+	}
+	for _, tc := range cases {
+		_, err := ParseDCSpec(tc.in)
+		if err == nil {
+			t.Errorf("%q: no error", tc.in)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%q: error %q does not mention %q", tc.in, err, tc.want)
 		}
 	}
 }

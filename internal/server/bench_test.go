@@ -1,0 +1,97 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// benchCSV builds the equality-heavy synthetic dataset for the serving
+// benchmarks: a near-key Zip column (every zip unique except a few
+// planted duplicates, some with conflicting states), State a function
+// of zip, and a bulk Salary column. The zip→state DC then runs on the
+// PLI path with small clusters, so a warm validate is dominated by the
+// cached join while a cold one pays for index and plan construction
+// over all n rows.
+func benchCSV(n int) string {
+	var sb strings.Builder
+	sb.WriteString("Zip,State,Salary\n")
+	for i := 0; i < n; i++ {
+		zip := 10000 + i
+		fmt.Fprintf(&sb, "%d,ST%02d,%d\n", zip, zip%47, 20000+zip%997)
+	}
+	// Planted duplicates: consistent ones exercise the join, a handful
+	// of conflicts keep the answer nonzero.
+	for i := 0; i < 24; i++ {
+		zip := 10000 + i*31
+		state := zip % 47
+		if i%4 == 0 {
+			state = (zip + 1) % 47 // conflicting duplicate
+		}
+		fmt.Fprintf(&sb, "%d,ST%02d,%d\n", zip, state, 20000+zip%997)
+	}
+	return sb.String()
+}
+
+func benchValidate(b *testing.B, ts *httptest.Server, id string, body []byte) {
+	b.Helper()
+	req, err := http.NewRequest("POST", ts.URL+"/datasets/"+id+"/validate", bytes.NewReader(body))
+	if err != nil {
+		b.Fatal(err)
+	}
+	resp, err := ts.Client().Do(req)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var out struct {
+		Violations int64 `json:"violations"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		b.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || out.Violations == 0 {
+		b.Fatalf("validate: status %d violations %d", resp.StatusCode, out.Violations)
+	}
+}
+
+func benchSetup(b *testing.B) (*Server, *httptest.Server, string, []byte) {
+	b.Helper()
+	s, ts := testServer(b, Config{})
+	id := ingestCSV(b, ts.Client(), ts.URL, benchCSV(20000))
+	body, err := json.Marshal(map[string]any{"dcs": []string{zipStateDC}, "max_pairs": 0})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return s, ts, id, body
+}
+
+// BenchmarkServerValidateWarm measures a validate request against a
+// fully cached session: indexes built, plan compiled, join prepared.
+func BenchmarkServerValidateWarm(b *testing.B) {
+	_, ts, id, body := benchSetup(b)
+	benchValidate(b, ts, id, body) // warm the caches
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchValidate(b, ts, id, body)
+	}
+}
+
+// BenchmarkServerValidateCold measures the same request with the
+// session's caches dropped before each iteration — the per-invocation
+// cost a one-shot CLI pays on every run.
+func BenchmarkServerValidateCold(b *testing.B) {
+	s, ts, id, body := benchSetup(b)
+	sess := s.reg.get(id)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		sess.invalidate()
+		b.StartTimer()
+		benchValidate(b, ts, id, body)
+	}
+}

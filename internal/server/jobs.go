@@ -1,0 +1,149 @@
+package server
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Job states.
+const (
+	jobRunning = "running"
+	jobDone    = "done"
+	jobFailed  = "failed"
+)
+
+// job is one asynchronous mining run. Mining can take minutes on large
+// relations, so POST /datasets/{id}/mine returns a job handle
+// immediately and GET /jobs/{id} polls it.
+type job struct {
+	id      string
+	dataset string
+
+	mu       sync.Mutex
+	state    string
+	err      string
+	result   *mineResult
+	started  time.Time
+	finished time.Time
+}
+
+// view renders the job for JSON under its own lock.
+func (j *job) view() jobView {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	v := jobView{
+		Job:     j.id,
+		Dataset: j.dataset,
+		State:   j.state,
+		Error:   j.err,
+		Result:  j.result,
+		Started: j.started.UTC().Format(time.RFC3339Nano),
+	}
+	if !j.finished.IsZero() {
+		v.Finished = j.finished.UTC().Format(time.RFC3339Nano)
+		v.DurationMS = float64(j.finished.Sub(j.started)) / float64(time.Millisecond)
+	}
+	return v
+}
+
+func (j *job) finish(res *mineResult, err error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.finished = time.Now()
+	if err != nil {
+		j.state = jobFailed
+		j.err = err.Error()
+		return
+	}
+	j.state = jobDone
+	j.result = res
+}
+
+type jobView struct {
+	Job        string      `json:"job"`
+	Dataset    string      `json:"dataset"`
+	State      string      `json:"state"`
+	Error      string      `json:"error,omitempty"`
+	Result     *mineResult `json:"result,omitempty"`
+	Started    string      `json:"started"`
+	Finished   string      `json:"finished,omitempty"`
+	DurationMS float64     `json:"duration_ms,omitempty"`
+}
+
+// maxFinishedJobs bounds the finished jobs retained for polling; the
+// oldest finished jobs are pruned first. Running jobs are never pruned.
+const maxFinishedJobs = 256
+
+// jobStore tracks jobs by id with bounded retention.
+type jobStore struct {
+	mu     sync.Mutex
+	byID   map[string]*job
+	order  []string // creation order, oldest first
+	nextID int
+}
+
+func newJobStore() *jobStore {
+	return &jobStore{byID: make(map[string]*job)}
+}
+
+func (st *jobStore) create(dataset string) *job {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.nextID++
+	j := &job{
+		id:      fmt.Sprintf("job-%d", st.nextID),
+		dataset: dataset,
+		state:   jobRunning,
+		started: time.Now(),
+	}
+	st.byID[j.id] = j
+	st.order = append(st.order, j.id)
+	st.pruneLocked()
+	return j
+}
+
+func (st *jobStore) get(id string) *job {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.byID[id]
+}
+
+func (st *jobStore) running() int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	n := 0
+	for _, j := range st.byID {
+		j.mu.Lock()
+		if j.state == jobRunning {
+			n++
+		}
+		j.mu.Unlock()
+	}
+	return n
+}
+
+func (st *jobStore) pruneLocked() {
+	finished := 0
+	for _, id := range st.order {
+		j := st.byID[id]
+		j.mu.Lock()
+		if j.state != jobRunning {
+			finished++
+		}
+		j.mu.Unlock()
+	}
+	for k := 0; finished > maxFinishedJobs && k < len(st.order); {
+		j := st.byID[st.order[k]]
+		j.mu.Lock()
+		done := j.state != jobRunning
+		j.mu.Unlock()
+		if !done {
+			k++
+			continue
+		}
+		delete(st.byID, st.order[k])
+		st.order = append(st.order[:k], st.order[k+1:]...)
+		finished--
+	}
+}

@@ -1,0 +1,232 @@
+package server
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"adc"
+)
+
+// session is the cached serving state of one registered dataset: the
+// relation, its Checker (per-column PLIs, per-DC compiled plans), and
+// the mining cache (sampled relations, predicate spaces, evidence
+// sets). Requests read the current state under RLock; row appends swap
+// in a copy-on-write successor under Lock, so long-running requests
+// that captured the old state stay consistent while new requests see
+// the grown relation immediately.
+type session struct {
+	id      string
+	name    string
+	created time.Time
+	golden  []string // golden DCs of a generated dataset, if any
+
+	// appendMu serializes the writers (append, invalidate); mu guards
+	// only the pointer swap and reads, so the O(n) copy-on-write
+	// derivation of an append never blocks concurrent readers.
+	appendMu sync.Mutex
+	mu       sync.RWMutex
+	checker  *adc.Checker
+	mine     *adc.MineCache
+	appends  int64
+}
+
+func newSession(id, name string, rel *adc.Relation, golden []string) *session {
+	return &session{
+		id:      id,
+		name:    name,
+		created: time.Now(),
+		golden:  golden,
+		checker: adc.NewChecker(rel),
+		mine:    adc.NewMineCache(),
+	}
+}
+
+// state returns the current checker and mining cache. Both are safe
+// for concurrent use and remain valid even if an append supersedes
+// them mid-request.
+func (s *session) state() (*adc.Checker, *adc.MineCache) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.checker, s.mine
+}
+
+// append grows the relation by the given records. Column PLIs are
+// patched where the appended values allow and dropped otherwise (see
+// pli.Store.Extend); compiled DC plans are recompiled lazily; the
+// mining cache — whose evidence sets are pairwise and cannot be
+// patched — starts over.
+func (s *session) append(records [][]string) (rows, patched, dropped int, err error) {
+	s.appendMu.Lock()
+	defer s.appendMu.Unlock()
+	// appendMu makes this read stable: only writers holding it swap the
+	// checker, so the expensive derivation can run without blocking the
+	// readers going through s.mu.
+	s.mu.RLock()
+	cur := s.checker
+	s.mu.RUnlock()
+	next, patched, dropped, err := cur.AppendRows(records)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	s.mu.Lock()
+	s.checker = next
+	s.mine = adc.NewMineCache()
+	s.appends++
+	s.mu.Unlock()
+	return next.Relation().NumRows(), patched, dropped, nil
+}
+
+// invalidate drops every cached structure, leaving the relation. It is
+// the cache-control escape hatch (POST /datasets/{id}/invalidate) and
+// the cold half of the serving benchmarks.
+func (s *session) invalidate() {
+	s.appendMu.Lock()
+	defer s.appendMu.Unlock()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.checker = adc.NewChecker(s.checker.Relation())
+	s.mine = adc.NewMineCache()
+}
+
+// memBytes estimates the session's heap footprint: relation storage
+// plus all cached checking and mining state.
+func (s *session) memBytes() int64 {
+	checker, mine := s.state()
+	return checker.Relation().MemBytes() + checker.MemBytes() + mine.MemBytes()
+}
+
+// registry is the RWMutex'd session store: id lookup plus an LRU list
+// for eviction under the configured session-count and memory caps.
+type registry struct {
+	mu          sync.RWMutex
+	byID        map[string]*session
+	order       []string // least-recently-used first
+	nextID      int
+	maxSessions int
+	maxBytes    int64
+	evictions   int64
+}
+
+func newRegistry(maxSessions int, maxBytes int64) *registry {
+	return &registry{byID: make(map[string]*session), maxSessions: maxSessions, maxBytes: maxBytes}
+}
+
+// add registers a session under a fresh id and evicts as needed.
+func (r *registry) add(name string, rel *adc.Relation, golden []string) (*session, []string) {
+	r.mu.Lock()
+	r.nextID++
+	id := fmt.Sprintf("ds-%d", r.nextID)
+	s := newSession(id, name, rel, golden)
+	r.byID[id] = s
+	r.order = append(r.order, id)
+	evicted := r.enforceLocked()
+	r.mu.Unlock()
+	return s, evicted
+}
+
+// get returns the session and marks it most recently used.
+func (r *registry) get(id string) *session {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := r.byID[id]
+	if s == nil {
+		return nil
+	}
+	r.touchLocked(id)
+	return s
+}
+
+func (r *registry) touchLocked(id string) {
+	for k, v := range r.order {
+		if v == id {
+			r.order = append(append(r.order[:k:k], r.order[k+1:]...), id)
+			return
+		}
+	}
+}
+
+// remove deletes a session; reports whether it existed.
+func (r *registry) remove(id string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.byID[id]; !ok {
+		return false
+	}
+	delete(r.byID, id)
+	for k, v := range r.order {
+		if v == id {
+			r.order = append(r.order[:k], r.order[k+1:]...)
+			break
+		}
+	}
+	return true
+}
+
+// list returns the sessions, least recently used first.
+func (r *registry) list() []*session {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]*session, 0, len(r.order))
+	for _, id := range r.order {
+		out = append(out, r.byID[id])
+	}
+	return out
+}
+
+// enforce applies the caps (called after appends grow a session).
+func (r *registry) enforce() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.enforceLocked()
+}
+
+// enforceLocked evicts least-recently-used sessions while over the
+// session-count or memory cap. The most recently used session always
+// survives, even if it alone exceeds the memory cap — a server that
+// evicts its only dataset can serve nothing.
+func (r *registry) enforceLocked() []string {
+	var evicted []string
+	for len(r.order) > 1 {
+		over := r.maxSessions > 0 && len(r.order) > r.maxSessions
+		if !over && r.maxBytes > 0 {
+			var total int64
+			for _, s := range r.byID {
+				total += s.memBytes()
+			}
+			over = total > r.maxBytes
+		}
+		if !over {
+			break
+		}
+		victim := r.order[0]
+		r.order = r.order[1:]
+		delete(r.byID, victim)
+		r.evictions++
+		evicted = append(evicted, victim)
+	}
+	return evicted
+}
+
+// stats aggregates registry-wide cache statistics for /metrics.
+func (r *registry) stats() (sessions int, memBytes int64, planHits, planMisses, indexHits, indexMisses, evictions int64) {
+	r.mu.RLock()
+	all := make([]*session, 0, len(r.byID))
+	for _, s := range r.byID {
+		all = append(all, s)
+	}
+	evictions = r.evictions
+	r.mu.RUnlock()
+	sessions = len(all)
+	for _, s := range all {
+		checker, _ := s.state()
+		memBytes += s.memBytes()
+		ph, pm := checker.PlanStats()
+		ih, im := checker.IndexStats()
+		planHits += ph
+		planMisses += pm
+		indexHits += ih
+		indexMisses += im
+	}
+	return
+}

@@ -1,0 +1,25 @@
+// Package sigctx centralizes interrupt handling for the commands: one
+// context that cancels on SIGINT/SIGTERM, shared by dcserved's graceful
+// shutdown and dccheck's flush-before-exit, so every binary reacts to
+// the same signals the same way.
+package sigctx
+
+import (
+	"context"
+	"os"
+	"os/signal"
+	"syscall"
+)
+
+// NotifyContext returns a context canceled on SIGINT or SIGTERM. The
+// returned stop function releases the signal registration; after stop
+// (or after the first signal) a second signal kills the process with
+// the default disposition, so a wedged shutdown can still be
+// interrupted.
+func NotifyContext(parent context.Context) (context.Context, context.CancelFunc) {
+	return signal.NotifyContext(parent, os.Interrupt, syscall.SIGTERM)
+}
+
+// ExitCodeInterrupted is the conventional exit status for a run cut
+// short by SIGINT (128 + SIGINT).
+const ExitCodeInterrupted = 130

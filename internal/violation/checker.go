@@ -1,0 +1,253 @@
+package violation
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"adc/internal/dataset"
+	"adc/internal/predicate"
+)
+
+// Checker binds a relation to the cached state that makes repeated
+// constraint checks cheap: a concurrency-safe position-list-index store
+// (built per column at most once) and, per DC spec, the compiled
+// predicates, single-tuple mask, and prepared PLI join plan. One-shot
+// callers get the same behavior through the package-level Check /
+// Validate / Repair, which run on a throwaway Checker; long-lived
+// callers (the server's dataset sessions) construct one Checker per
+// relation and amortize all index and plan construction across
+// requests.
+//
+// A Checker is safe for concurrent use. The relation it wraps must not
+// be mutated; to grow the data, AppendRows derives a new Checker
+// copy-on-write, leaving in-flight requests on the old one consistent.
+type Checker struct {
+	cache *pliCache
+
+	mu    sync.RWMutex
+	plans map[string]*dcPlan
+
+	planHits, planMisses atomic.Int64
+}
+
+// dcPlan is the cached compilation of one DC spec against the
+// relation: predicates split and ordered for the scan path, the
+// single-tuple mask, and (built lazily, since a forced scan never needs
+// it) the PLI join plan. All fields are immutable once built.
+type dcPlan struct {
+	singles, cross []compiledPred
+	mask           []bool
+
+	pliOnce sync.Once
+	// pli is atomic so stat readers (MemBytes) can observe it without
+	// triggering the lazy build; nil means not built yet or no joinable
+	// equality predicate.
+	pli atomic.Pointer[pliPlan]
+}
+
+// NewChecker creates a Checker over the relation with empty caches.
+func NewChecker(rel *dataset.Relation) *Checker {
+	return &Checker{cache: newPLICache(rel), plans: make(map[string]*dcPlan)}
+}
+
+// Relation returns the relation the Checker is bound to.
+func (c *Checker) Relation() *dataset.Relation { return c.cache.rel }
+
+// plan returns the cached compilation of the spec, compiling on first
+// use. The cache key is the spec's canonical string form.
+func (c *Checker) plan(spec predicate.DCSpec) (*dcPlan, error) {
+	key := spec.String()
+	c.mu.RLock()
+	p := c.plans[key]
+	c.mu.RUnlock()
+	if p != nil {
+		c.planHits.Add(1)
+		return p, nil
+	}
+	preds, err := compileDC(c.cache.rel, spec)
+	if err != nil {
+		return nil, err
+	}
+	singles, cross := splitPreds(preds)
+	p = &dcPlan{singles: singles, cross: cross, mask: singleMask(c.cache.rel.NumRows(), singles)}
+	c.mu.Lock()
+	if prior := c.plans[key]; prior != nil {
+		p = prior // another goroutine compiled concurrently
+		c.planHits.Add(1)
+	} else {
+		c.plans[key] = p
+		c.planMisses.Add(1)
+	}
+	c.mu.Unlock()
+	return p, nil
+}
+
+// pliPlan returns the DC's prepared PLI join plan, building it on first
+// use (nil when the DC has no equality predicate to join on).
+func (p *dcPlan) pliPlan(cache *pliCache) *pliPlan {
+	p.pliOnce.Do(func() { p.pli.Store(preparePLIPlan(cache, p.cross)) })
+	return p.pli.Load()
+}
+
+// Check enumerates the violations of every DC against the relation and
+// scores each DC under f1, f2, and f3, reusing every cached index and
+// plan.
+func (c *Checker) Check(specs []predicate.DCSpec, opts Options) (*Report, error) {
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	n := c.cache.rel.NumRows()
+	rep := &Report{
+		NumRows:         n,
+		TotalPairs:      int64(n) * int64(n-1),
+		TupleViolations: make([]int64, n),
+	}
+	for _, spec := range specs {
+		res, err := c.checkOne(spec, opts)
+		if err != nil {
+			return nil, err
+		}
+		rep.Results = append(rep.Results, *res)
+		rep.Violations += res.Violations
+		for t, cnt := range res.TupleCounts {
+			rep.TupleViolations[t] += cnt
+		}
+	}
+	rep.Clean = rep.Violations == 0
+	return rep, nil
+}
+
+func (c *Checker) checkOne(spec predicate.DCSpec, opts Options) (*DCResult, error) {
+	plan, err := c.plan(spec)
+	if err != nil {
+		return nil, err
+	}
+	n := c.cache.rel.NumRows()
+
+	// Path choice. The join plan is only prepared when it can be used:
+	// the forced scan path skips the O(n) construction entirely.
+	var pp *pliPlan
+	if opts.Path != PathScan {
+		pp = plan.pliPlan(c.cache)
+	}
+	path := PathScan
+	switch opts.Path {
+	case "", PathAuto:
+		if pp != nil && pp.candPairs*pliAdvantage <= int64(n)*int64(n-1) {
+			path = PathPLI
+		}
+	case PathPLI:
+		if pp != nil {
+			path = PathPLI
+		}
+	}
+
+	var col *collector
+	if path == PathPLI {
+		col = runPLI(pp, n, plan.mask, opts.Workers, opts.MaxPairs)
+	} else {
+		col = scanPairs(n, plan.mask, plan.cross, opts.Workers, opts.MaxPairs)
+	}
+
+	// Each worker's retained pairs are its lexicographically smallest;
+	// sorting the merged retention and re-capping yields the globally
+	// smallest MaxPairs pairs (or all pairs when uncapped).
+	sort.Slice(col.pairs, func(a, b int) bool { return pairLess(col.pairs[a], col.pairs[b]) })
+	res := &DCResult{
+		Spec:        spec,
+		Violations:  col.violations,
+		Pairs:       col.pairs,
+		TupleCounts: col.counts,
+		Path:        path,
+	}
+	if opts.MaxPairs > 0 && len(res.Pairs) > opts.MaxPairs {
+		res.Pairs = res.Pairs[:opts.MaxPairs]
+	}
+	res.Truncated = res.Violations > int64(len(res.Pairs))
+	res.LossF1 = lossF1(col.violations, int64(n)*int64(n-1))
+	res.LossF2 = lossF2(col.counts, n)
+	res.LossF3 = lossF3(col.counts, col.violations, n)
+	return res, nil
+}
+
+// Validate scores every DC against the relation and compares the loss
+// under the named approximation function to eps, reusing cached state.
+func (c *Checker) Validate(specs []predicate.DCSpec, approxName string, eps float64, opts Options) ([]Validation, error) {
+	rep, err := c.Check(specs, opts)
+	if err != nil {
+		return nil, err
+	}
+	return rep.Validations(approxName, eps)
+}
+
+// Repair computes the greedy deletion repair for the DCs, reusing
+// cached state for the underlying check.
+func (c *Checker) Repair(specs []predicate.DCSpec, opts Options) (*RepairResult, error) {
+	opts.MaxPairs = 0 // the conflict graph needs every pair
+	rep, err := c.Check(specs, opts)
+	if err != nil {
+		return nil, err
+	}
+	return RepairReport(c.cache.rel, rep)
+}
+
+// AppendRows derives a Checker over the relation grown by the given
+// records (string values in column order, parsed against the column
+// types). Cached structures are invalidated at the finest grain that
+// stays correct: column indexes are patched in place of a rebuild
+// whenever the appended values permit (see pli.Store.Extend; patched
+// and dropped report the split), while the per-spec plans — whose masks
+// and candidate estimates are row-count-dependent — are discarded and
+// lazily recompiled. The receiver is untouched and remains valid for
+// requests already in flight against the old rows.
+func (c *Checker) AppendRows(records [][]string) (next *Checker, patched, dropped int, err error) {
+	grown, err := c.cache.rel.AppendRows(records)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	store, patched, dropped := c.cache.store.Extend(grown.Columns, c.cache.rel.NumRows())
+	next = &Checker{
+		cache: &pliCache{rel: grown, store: store},
+		plans: make(map[string]*dcPlan),
+	}
+	next.planHits.Store(c.planHits.Load())
+	next.planMisses.Store(c.planMisses.Load())
+	return next, patched, dropped, nil
+}
+
+// PlanStats returns cumulative plan-cache hits and misses (a miss
+// compiles the spec and, if needed, prepares its join plan).
+func (c *Checker) PlanStats() (hits, misses int64) {
+	return c.planHits.Load(), c.planMisses.Load()
+}
+
+// IndexStats returns cumulative PLI store hits and misses.
+func (c *Checker) IndexStats() (hits, misses int64) {
+	return c.cache.store.Stats()
+}
+
+// CachedIndexes returns the number of columns with a built PLI.
+func (c *Checker) CachedIndexes() int { return c.cache.store.CachedColumns() }
+
+// MemBytes estimates the heap footprint of the cached state (indexes,
+// masks, and join plans; the relation itself is not counted).
+func (c *Checker) MemBytes() int64 {
+	b := c.cache.store.MemBytes()
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	for _, p := range c.plans {
+		b += int64(len(p.mask))
+		b += int64(len(p.singles)+len(p.cross)) * 64
+		if pp := p.pli.Load(); pp != nil {
+			for _, g := range pp.groups {
+				b += int64(len(g))*4 + 24
+			}
+			b += int64(len(pp.probe)) * 4
+			for _, rows := range pp.build {
+				b += int64(len(rows))*4 + 24
+			}
+		}
+	}
+	return b
+}

@@ -1,0 +1,136 @@
+package violation
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"adc/internal/dataset"
+	"adc/internal/predicate"
+)
+
+func checkerFixture(t *testing.T) (*dataset.Relation, []predicate.DCSpec) {
+	t.Helper()
+	rel := dataset.MustNewRelation("tax", []*dataset.Column{
+		dataset.NewStringColumn("State", []string{"NY", "NY", "CA", "CA", "NY"}),
+		dataset.NewIntColumn("Zip", []int64{10001, 10001, 90210, 90210, 10001}),
+		dataset.NewIntColumn("Salary", []int64{50, 60, 70, 80, 55}),
+		dataset.NewIntColumn("Tax", []int64{5, 6, 7, 8, 9}),
+	})
+	spec, err := predicate.ParseDCSpec("not(t.Zip = t'.Zip and t.State != t'.State)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec2, err := predicate.ParseDCSpec("not(t.State = t'.State and t.Salary > t'.Salary and t.Tax <= t'.Tax)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rel, []predicate.DCSpec{spec, spec2}
+}
+
+func TestCheckerMatchesCheckAndCachesPlans(t *testing.T) {
+	rel, specs := checkerFixture(t)
+	want, err := Check(rel, specs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewChecker(rel)
+	for round := 0; round < 3; round++ {
+		got, err := c.Check(specs, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("round %d: Checker report differs from Check", round)
+		}
+	}
+	hits, misses := c.PlanStats()
+	if misses != int64(len(specs)) {
+		t.Errorf("plan misses = %d, want %d", misses, len(specs))
+	}
+	if hits != int64(2*len(specs)) {
+		t.Errorf("plan hits = %d, want %d", hits, 2*len(specs))
+	}
+	if c.MemBytes() <= 0 {
+		t.Errorf("MemBytes = %d, want > 0", c.MemBytes())
+	}
+}
+
+func TestCheckerConcurrentChecks(t *testing.T) {
+	rel, specs := checkerFixture(t)
+	want, err := Check(rel, specs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewChecker(rel)
+	var wg sync.WaitGroup
+	for w := 0; w < 16; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for k := 0; k < 5; k++ {
+				got, err := c.Check(specs, Options{})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if !reflect.DeepEqual(got, want) {
+					t.Error("concurrent Checker report differs from Check")
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestCheckerAppendRows(t *testing.T) {
+	rel, specs := checkerFixture(t)
+	c := NewChecker(rel)
+	before, err := c.Check(specs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A CA row under NY's zip: one new violating tuple against each of
+	// the three existing 10001 rows (both orders) for the zip/state DC.
+	next, _, _, err := c.AppendRows([][]string{{"CA", "10001", "65", "6"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	grown, err := rel.AppendRows([][]string{{"CA", "10001", "65", "6"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := Check(grown, specs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := next.Check(specs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("post-append Checker report differs from a fresh Check")
+	}
+	if got.Violations <= before.Violations {
+		t.Fatalf("appended dirty row did not raise violations: %d -> %d", before.Violations, got.Violations)
+	}
+
+	// The old checker still answers for the old rows.
+	after, err := c.Check(specs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(after, before) {
+		t.Fatalf("old Checker changed after AppendRows")
+	}
+}
+
+func TestCheckerAppendRowsError(t *testing.T) {
+	rel, _ := checkerFixture(t)
+	c := NewChecker(rel)
+	if _, _, _, err := c.AppendRows([][]string{{"CA", "not-a-zip", "65", "6"}}); err == nil {
+		t.Fatal("appending a non-int zip succeeded")
+	}
+}

@@ -140,22 +140,20 @@ func scanRange(c *collector, lo, hi, n int, mask []bool, preds []compiledPred) {
 
 // ---- PLI path ------------------------------------------------------------
 
-// pliCache shares per-column position list indexes across the DCs of one
-// Check call.
+// pliCache shares per-column position list indexes across the DCs of a
+// Checker — and, since the backing pli.Store is concurrency-safe and
+// lazily populated, across every request served by that Checker.
 type pliCache struct {
-	rel *dataset.Relation
-	idx []*pli.Index
+	rel   *dataset.Relation
+	store *pli.Store
 }
 
 func newPLICache(rel *dataset.Relation) *pliCache {
-	return &pliCache{rel: rel, idx: make([]*pli.Index, rel.NumColumns())}
+	return &pliCache{rel: rel, store: pli.NewStore(rel.Columns)}
 }
 
 func (c *pliCache) index(col int) *pli.Index {
-	if c.idx[col] == nil {
-		c.idx[col] = pli.ForColumn(c.rel.Columns[col])
-	}
-	return c.idx[col]
+	return c.store.Index(col)
 }
 
 // pliPlan is the prepared cluster-intersection join for one DC. Exactly

@@ -159,89 +159,14 @@ func sortedTupleCounts(counts []int64) []TupleCount {
 }
 
 // Check enumerates the violations of every DC against the relation and
-// scores each DC under f1, f2, and f3.
+// scores each DC under f1, f2, and f3. It runs on a throwaway Checker;
+// callers issuing repeated checks against one relation should hold a
+// Checker instead and amortize index and plan construction.
 func Check(rel *dataset.Relation, specs []predicate.DCSpec, opts Options) (*Report, error) {
 	if rel == nil {
 		return nil, fmt.Errorf("violation: nil relation")
 	}
-	if err := opts.validate(); err != nil {
-		return nil, err
-	}
-	n := rel.NumRows()
-	rep := &Report{
-		NumRows:         n,
-		TotalPairs:      int64(n) * int64(n-1),
-		TupleViolations: make([]int64, n),
-	}
-	cache := newPLICache(rel)
-	for _, spec := range specs {
-		res, err := checkOne(rel, spec, opts, cache)
-		if err != nil {
-			return nil, err
-		}
-		rep.Results = append(rep.Results, *res)
-		rep.Violations += res.Violations
-		for t, c := range res.TupleCounts {
-			rep.TupleViolations[t] += c
-		}
-	}
-	rep.Clean = rep.Violations == 0
-	return rep, nil
-}
-
-func checkOne(rel *dataset.Relation, spec predicate.DCSpec, opts Options, cache *pliCache) (*DCResult, error) {
-	preds, err := compileDC(rel, spec)
-	if err != nil {
-		return nil, err
-	}
-	n := rel.NumRows()
-	singles, cross := splitPreds(preds)
-	mask := singleMask(n, singles)
-
-	// Path choice. The plan is only prepared when it can be used: the
-	// forced scan path skips the O(n) join construction entirely.
-	var plan *pliPlan
-	if opts.Path != PathScan {
-		plan = preparePLIPlan(cache, cross)
-	}
-	path := PathScan
-	switch opts.Path {
-	case "", PathAuto:
-		if plan != nil && plan.candPairs*pliAdvantage <= int64(n)*int64(n-1) {
-			path = PathPLI
-		}
-	case PathPLI:
-		if plan != nil {
-			path = PathPLI
-		}
-	}
-
-	var c *collector
-	if path == PathPLI {
-		c = runPLI(plan, n, mask, opts.Workers, opts.MaxPairs)
-	} else {
-		c = scanPairs(n, mask, cross, opts.Workers, opts.MaxPairs)
-	}
-
-	// Each worker's retained pairs are its lexicographically smallest;
-	// sorting the merged retention and re-capping yields the globally
-	// smallest MaxPairs pairs (or all pairs when uncapped).
-	sort.Slice(c.pairs, func(a, b int) bool { return pairLess(c.pairs[a], c.pairs[b]) })
-	res := &DCResult{
-		Spec:        spec,
-		Violations:  c.violations,
-		Pairs:       c.pairs,
-		TupleCounts: c.counts,
-		Path:        path,
-	}
-	if opts.MaxPairs > 0 && len(res.Pairs) > opts.MaxPairs {
-		res.Pairs = res.Pairs[:opts.MaxPairs]
-	}
-	res.Truncated = res.Violations > int64(len(res.Pairs))
-	res.LossF1 = lossF1(c.violations, int64(n)*int64(n-1))
-	res.LossF2 = lossF2(c.counts, n)
-	res.LossF3 = lossF3(c.counts, c.violations, n)
-	return res, nil
+	return NewChecker(rel).Check(specs, opts)
 }
 
 // lossF1 is the violating-pair fraction (Kivinen–Mannila g1).

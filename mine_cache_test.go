@@ -1,0 +1,109 @@
+package adc
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestMineCacheReuse checks the component-reuse contract of
+// Options.Cache: compatible re-mines share the evidence set (pointer
+// identity), a vios-needing function forces a rebuild, and the richer
+// vios-bearing set then serves vios-free runs too.
+func TestMineCacheReuse(t *testing.T) {
+	rel := RunningExample()
+	cache := NewMineCache()
+
+	first, err := Mine(rel, Options{Approx: "f1", Epsilon: 0.01, Cache: cache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := Mine(rel, Options{Approx: "f1", Epsilon: 0.05, Cache: cache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Evidence != first.Evidence {
+		t.Fatalf("compatible re-mine rebuilt the evidence set")
+	}
+	if again.Space != first.Space {
+		t.Fatalf("compatible re-mine rebuilt the predicate space")
+	}
+
+	// f2 needs vios, which the f1 evidence lacks: rebuild expected.
+	f2, err := Mine(rel, Options{Approx: "f2", Epsilon: 0.05, Cache: cache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f2.Evidence == first.Evidence {
+		t.Fatalf("vios-needing run reused vios-free evidence")
+	}
+	if !f2.Evidence.HasVios() {
+		t.Fatalf("f2 evidence has no vios")
+	}
+
+	// The vios-bearing set now serves f1 as well.
+	f1again, err := Mine(rel, Options{Approx: "f1", Epsilon: 0.01, Cache: cache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f1again.Evidence != f2.Evidence {
+		t.Fatalf("f1 re-mine did not reuse the vios-bearing evidence")
+	}
+	if !reflect.DeepEqual(dcStrings(f1again.DCs), dcStrings(first.DCs)) {
+		t.Fatalf("cached run mined different DCs: %v vs %v", dcStrings(f1again.DCs), dcStrings(first.DCs))
+	}
+
+	if cache.MemBytes() <= 0 {
+		t.Fatalf("MemBytes = %d, want > 0", cache.MemBytes())
+	}
+
+	// Uncached and nil-cache runs agree with cached ones.
+	plain, err := Mine(rel, Options{Approx: "f1", Epsilon: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(dcStrings(plain.DCs), dcStrings(first.DCs)) {
+		t.Fatalf("cache changed mining output")
+	}
+}
+
+// TestMineCacheSampleKey checks that sampled runs key on fraction and
+// seed: equal seeds share the sample, different seeds do not.
+func TestMineCacheSampleKey(t *testing.T) {
+	ds, err := GenerateDataset("hospital", 120, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache := NewMineCache()
+	base := Options{Approx: "f1", Epsilon: 0.01, SampleFraction: 0.5, Seed: 3,
+		MaxPredicates: 3, Cache: cache}
+
+	a, err := Mine(ds.Rel, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Mine(ds.Rel, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Evidence != a.Evidence {
+		t.Fatalf("same-seed sampled re-mine rebuilt evidence")
+	}
+
+	other := base
+	other.Seed = 4
+	c, err := Mine(ds.Rel, other)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Evidence == a.Evidence {
+		t.Fatalf("different-seed sampled mine reused the other seed's evidence")
+	}
+}
+
+func dcStrings(dcs []DC) []string {
+	out := make([]string, len(dcs))
+	for i, dc := range dcs {
+		out[i] = dc.String()
+	}
+	return out
+}
