@@ -57,6 +57,7 @@ import (
 	"adc/internal/dataset"
 	"adc/internal/evidence"
 	"adc/internal/hitset"
+	"adc/internal/pli"
 	"adc/internal/predicate"
 	"adc/internal/rank"
 	"adc/internal/sample"
@@ -143,11 +144,19 @@ type Options struct {
 	// (the AFASTDC baseline), or "mmcs" (exact valid DCs only; requires
 	// Epsilon == 0).
 	Algorithm string
-	// Evidence selects the evidence-set builder: "fast" (default,
-	// PLI/bit-level, DCFinder-style), "parallel" (fast partitioned
-	// across GOMAXPROCS workers), or "naive" (per-pair predicate
-	// evaluation, FASTDC-style).
+	// Evidence selects the evidence-set builder: "auto" (default,
+	// cluster-tiled with a data-driven worker heuristic), "cluster"
+	// (cluster-tiled, single-threaded), "fast" (per-pair PLI/bit-level,
+	// DCFinder-style), "parallel" (fast partitioned across GOMAXPROCS
+	// workers), or "naive" (per-pair predicate evaluation,
+	// FASTDC-style, the correctness oracle).
 	Evidence string
+	// Indexes optionally shares a per-column PLI store (for example
+	// Checker.Indexes) with evidence construction, so a server session
+	// that has already indexed its columns does not re-index them per
+	// mine. Ignored when mining from a sample, whose rows the store
+	// does not describe.
+	Indexes *IndexStore
 	// Predicates configures the predicate space; zero value means
 	// DefaultPredicateOptions.
 	Predicates PredicateOptions
@@ -213,11 +222,13 @@ func Mine(rel *Relation, opts Options) (*Result, error) {
 			return nil, err
 		}
 	}
-
-	builder, err := evidenceBuilder(opts.Evidence)
-	if err != nil {
+	// Validate the builder name before any expensive stage runs; the
+	// builder itself is constructed at the evidence step, once the
+	// effective data (full relation or sample) fixes the index store.
+	if _, err := evidenceBuilder(opts.Evidence, nil); err != nil {
 		return nil, err
 	}
+
 	algorithm := opts.Algorithm
 	if algorithm == "" {
 		algorithm = "adcenum"
@@ -277,6 +288,14 @@ func Mine(rel *Relation, opts Options) (*Result, error) {
 	// least the structure this run needs: vios-bearing evidence serves
 	// vios-free functions, not the reverse.
 	t0 = time.Now()
+	indexes := opts.Indexes
+	if data != rel {
+		indexes = nil // the store indexes the full relation, not the sample
+	}
+	builder, err := evidenceBuilder(opts.Evidence, indexes)
+	if err != nil {
+		return nil, err
+	}
 	needsVios := f.NeedsVios()
 	var ev *EvidenceSet
 	if cached != nil && (cached.ev.HasVios() || !needsVios) {
@@ -326,16 +345,20 @@ func Mine(rel *Relation, opts Options) (*Result, error) {
 	return res, nil
 }
 
-func evidenceBuilder(name string) (evidence.Builder, error) {
+func evidenceBuilder(name string, indexes *IndexStore) (evidence.Builder, error) {
 	switch name {
-	case "", "fast":
-		return evidence.FastBuilder{}, nil
+	case "", "auto":
+		return evidence.AutoBuilder{Indexes: indexes}, nil
+	case "cluster":
+		return evidence.ClusterBuilder{Indexes: indexes}, nil
+	case "fast":
+		return evidence.FastBuilder{Indexes: indexes}, nil
 	case "parallel":
-		return evidence.ParallelBuilder{}, nil
+		return evidence.ParallelBuilder{Indexes: indexes}, nil
 	case "naive":
 		return evidence.NaiveBuilder{}, nil
 	}
-	return nil, fmt.Errorf("adc: unknown evidence builder %q (want fast, parallel, or naive)", name)
+	return nil, fmt.Errorf("adc: unknown evidence builder %q (want auto, cluster, fast, parallel, or naive)", name)
 }
 
 // MineCache caches the expensive intermediates of Mine — the sampled
@@ -374,7 +397,7 @@ func mineKey(opts Options, popts PredicateOptions) string {
 	}
 	builder := opts.Evidence
 	if builder == "" {
-		builder = "fast"
+		builder = "auto"
 	}
 	return fmt.Sprintf("%+v|%s|%s", popts, sample, builder)
 }
@@ -477,6 +500,12 @@ const (
 // for concurrent use; one-shot callers can stay with the package-level
 // Violations/Validate/Repair, which run on a throwaway Checker.
 type Checker = violation.Checker
+
+// IndexStore is a concurrency-safe, lazily populated cache of
+// per-column position list indexes over one relation's columns. The
+// violation checker builds one (Checker.Indexes); passing it through
+// Options.Indexes lets evidence construction reuse the same indexes.
+type IndexStore = pli.Store
 
 // NewChecker creates a Checker over the relation with empty caches.
 var NewChecker = violation.NewChecker

@@ -100,22 +100,62 @@ func TestMineValidDCsWithMMCS(t *testing.T) {
 
 func TestMineEvidenceBuildersAgree(t *testing.T) {
 	d, _ := datagen.ByName("stock", 60, 3)
-	fast, err := adc.Mine(d.Rel, adc.Options{Epsilon: 0.01, Evidence: "fast", MaxPredicates: 3})
-	if err != nil {
-		t.Fatal(err)
-	}
 	naive, err := adc.Mine(d.Rel, adc.Options{Epsilon: 0.01, Evidence: "naive", MaxPredicates: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
-	kf, kn := metrics.KeySet(fast.DCs), metrics.KeySet(naive.DCs)
-	if len(kf) != len(kn) {
-		t.Fatalf("fast %d DCs, naive %d", len(kf), len(kn))
-	}
-	for k := range kf {
-		if !kn[k] {
-			t.Fatal("builder choice changed mined DCs")
+	kn := metrics.KeySet(naive.DCs)
+	for _, builder := range []string{"fast", "parallel", "cluster", "auto", ""} {
+		res, err := adc.Mine(d.Rel, adc.Options{Epsilon: 0.01, Evidence: builder, MaxPredicates: 3})
+		if err != nil {
+			t.Fatalf("%q: %v", builder, err)
 		}
+		kb := metrics.KeySet(res.DCs)
+		if len(kb) != len(kn) {
+			t.Fatalf("%q mined %d DCs, naive %d", builder, len(kb), len(kn))
+		}
+		for k := range kb {
+			if !kn[k] {
+				t.Fatalf("builder %q changed mined DCs", builder)
+			}
+		}
+	}
+}
+
+// TestMineSharedIndexes pins the PLI-sharing contract: mining with a
+// Checker's index store produces the same DCs, and the store must be
+// ignored when mining from a sample (whose rows it does not describe).
+func TestMineSharedIndexes(t *testing.T) {
+	d, _ := datagen.ByName("stock", 60, 3)
+	checker := adc.NewChecker(d.Rel)
+	base, err := adc.Mine(d.Rel, adc.Options{Epsilon: 0.01, MaxPredicates: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	shared, err := adc.Mine(d.Rel, adc.Options{
+		Epsilon: 0.01, MaxPredicates: 3, Indexes: checker.Indexes(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	kb, ks := metrics.KeySet(base.DCs), metrics.KeySet(shared.DCs)
+	if len(kb) != len(ks) {
+		t.Fatalf("shared-index mine found %d DCs, base %d", len(ks), len(kb))
+	}
+	for k := range kb {
+		if !ks[k] {
+			t.Fatal("shared indexes changed mined DCs")
+		}
+	}
+	if checker.CachedIndexes() == 0 {
+		t.Error("mine did not populate the shared index store")
+	}
+	// Sampled mining with a full-relation store must not misuse it.
+	if _, err := adc.Mine(d.Rel, adc.Options{
+		Epsilon: 0.01, MaxPredicates: 3, SampleFraction: 0.5, Seed: 2,
+		Indexes: checker.Indexes(),
+	}); err != nil {
+		t.Fatalf("sampled mine with shared indexes: %v", err)
 	}
 }
 

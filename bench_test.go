@@ -150,6 +150,58 @@ func BenchmarkEvidenceParallel(b *testing.B) {
 	}
 }
 
+// BenchmarkEvidenceCluster is the cluster-tiled builder, single-threaded
+// like BenchmarkEvidenceFast so the CI gate compares algorithms, not
+// core counts (BENCH_evidence.json records the ratio).
+func BenchmarkEvidenceCluster(b *testing.B) {
+	d := benchDataset(b, "stock", 200)
+	space := predicate.Build(d.Rel, predicate.DefaultOptions())
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := (evidence.ClusterBuilder{}).Build(space, false); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEvidenceAuto(b *testing.B) {
+	d := benchDataset(b, "stock", 200)
+	space := predicate.Build(d.Rel, predicate.DefaultOptions())
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := (evidence.AutoBuilder{}).Build(space, false); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// The adult dataset is categorical and equal-heavy — the workload class
+// the cluster builder targets (super-rows collapse, rank runs are
+// long). The CI evidence gate compares the next two benchmarks and
+// requires cluster ≥ 2x fast; stock above measures the worst case
+// (near-zero signature compression).
+func BenchmarkEvidenceFastAdult(b *testing.B) {
+	d := benchDataset(b, "adult", 200)
+	space := predicate.Build(d.Rel, predicate.DefaultOptions())
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := (evidence.FastBuilder{}).Build(space, false); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEvidenceClusterAdult(b *testing.B) {
+	d := benchDataset(b, "adult", 200)
+	space := predicate.Build(d.Rel, predicate.DefaultOptions())
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := (evidence.ClusterBuilder{}).Build(space, false); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 func BenchmarkEvidenceNaive(b *testing.B) {
 	d := benchDataset(b, "stock", 200)
 	space := predicate.Build(d.Rel, predicate.DefaultOptions())

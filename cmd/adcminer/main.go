@@ -11,12 +11,21 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"adc"
 )
 
+// main delegates to run so deferred cleanup — in particular flushing
+// -cpuprofile/-memprofile — executes on every exit path, including
+// errors (os.Exit would skip the defers and truncate the profiles).
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	var (
 		input     = flag.String("input", "", "input CSV file (required)")
 		header    = flag.Bool("header", true, "first CSV record is the header")
@@ -25,24 +34,54 @@ func main() {
 		sampleF   = flag.Float64("sample", 1.0, "fraction of tuples to sample (Section 7)")
 		alpha     = flag.Float64("alpha", 0, "confidence α for the sample-threshold correction (f1 only)")
 		algorithm = flag.String("algorithm", "adcenum", "enumerator: adcenum, searchmc, or mmcs")
-		evid      = flag.String("evidence", "fast", "evidence builder: fast, parallel, or naive")
+		evid      = flag.String("evidence", "auto", "evidence builder: auto, cluster, fast, parallel, or naive")
 		maxPreds  = flag.Int("max-preds", 0, "maximum predicates per DC (0 = unbounded)")
 		seed      = flag.Int64("seed", 1, "sampling seed")
 		top       = flag.Int("top", 0, "print only the first N DCs (0 = all)")
 		ranked    = flag.Bool("rank", false, "order by FASTDC interestingness instead of length")
 		stats     = flag.Bool("stats", true, "print run statistics")
+		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf   = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
 	if *input == "" {
 		fmt.Fprintln(os.Stderr, "adcminer: -input is required")
 		flag.Usage()
-		os.Exit(2)
+		return 2
+	}
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "adcminer:", err)
+			return 1
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "adcminer:", err)
+			return 1
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "adcminer:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // materialize the retained-heap picture
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "adcminer:", err)
+			}
+		}()
 	}
 
 	rel, err := adc.ReadCSVFile(*input, *header)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "adcminer:", err)
-		os.Exit(1)
+		return 1
 	}
 	res, err := adc.Mine(rel, adc.Options{
 		Approx:         *fn,
@@ -56,7 +95,7 @@ func main() {
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "adcminer:", err)
-		os.Exit(1)
+		return 1
 	}
 
 	dcs := res.DCs
@@ -85,6 +124,7 @@ func main() {
 			res.PredicateSpaceTime.Round(ms), res.SampleTime.Round(ms),
 			res.EvidenceTime.Round(ms), res.EnumTime.Round(ms), res.EnumCalls)
 	}
+	return 0
 }
 
 const ms = time.Millisecond

@@ -34,6 +34,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"time"
 
@@ -48,6 +49,7 @@ func main() {
 		maxMemMB    = flag.Int64("max-mem-mb", 1024, "memory cap in MiB across sessions (LRU eviction beyond)")
 		maxBodyMB   = flag.Int64("max-body-mb", 64, "max request body size in MiB")
 		grace       = flag.Duration("shutdown-grace", 10*time.Second, "graceful shutdown timeout")
+		pprofOn     = flag.Bool("pprof", false, "serve /debug/pprof/ profiling endpoints (do not expose publicly)")
 	)
 	flag.Parse()
 
@@ -56,9 +58,23 @@ func main() {
 		MaxMemBytes:  *maxMemMB << 20,
 		MaxBodyBytes: *maxBodyMB << 20,
 	})
+	handler := srv.Handler()
+	if *pprofOn {
+		// Opt-in profiling mux in front of the API, so perf work can
+		// attach `go tool pprof` to a live server without code edits.
+		root := http.NewServeMux()
+		root.HandleFunc("/debug/pprof/", pprof.Index)
+		root.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		root.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		root.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		root.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		root.Handle("/", handler)
+		handler = root
+		log.Printf("dcserved: pprof enabled at /debug/pprof/")
+	}
 	httpSrv := &http.Server{
 		Addr:              *addr,
-		Handler:           srv.Handler(),
+		Handler:           handler,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 

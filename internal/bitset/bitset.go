@@ -117,6 +117,22 @@ func (b Bits) Or(o Bits) {
 	}
 }
 
+// OrInto writes b ∪ o into dst, which must have at least len(b) words
+// (extra words are left untouched) while o may be shorter than b. It is
+// the allocation-free fused copy+Or of FastBuilder's pair loop: dst is
+// the reused evidence buffer, b the per-row base mask, o the first
+// cross group's operator mask.
+func (b Bits) OrInto(o, dst Bits) {
+	n := len(o)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		dst[i] = b[i] | o[i]
+	}
+	copy(dst[n:], b[n:])
+}
+
 // And sets b to b ∩ o in place.
 func (b Bits) And(o Bits) {
 	for i := range b {
@@ -177,6 +193,40 @@ func (b Bits) FirstCommon(o Bits) int {
 		}
 	}
 	return -1
+}
+
+// FNV-1a parameters, widened to the word level: instead of hashing the
+// 8·len(b) bytes of the image one byte at a time, whole 64-bit words are
+// folded in per multiply. Collision behavior on evidence-set workloads
+// is indistinguishable from byte-wise FNV while doing 1/8 of the work.
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+// Hash returns a 64-bit hash of the bitset's words (word-level FNV-1a).
+// Equal bitsets from the same universe hash equally; it is the hash
+// function of the evidence intern table and of HashWords.
+func (b Bits) Hash() uint64 { return HashWords(b) }
+
+// HashWords hashes a raw word slice the same way Bits.Hash does, for
+// callers holding arena-backed []uint64 views rather than Bits values.
+func HashWords(ws []uint64) uint64 {
+	h := uint64(fnvOffset)
+	for _, w := range ws {
+		h ^= w
+		h *= fnvPrime
+	}
+	// Finalize with a murmur-style mixer: sparse bitsets differ in few
+	// input bits, and plain FNV leaves their influence concentrated in
+	// the high half, while open-addressing tables index with the low
+	// bits. The two multiply/shift rounds avalanche every input bit.
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	h *= 0xc4ceb9fe1a85ec53
+	h ^= h >> 33
+	return h
 }
 
 // Key returns a string image of the bitset suitable for use as a map key.

@@ -1,0 +1,92 @@
+package bitset
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// randBits builds a deterministic pseudo-random bitset of n words.
+func randBits(n int, seed int64) Bits {
+	r := rand.New(rand.NewSource(seed))
+	b := make(Bits, n)
+	for i := range b {
+		b[i] = r.Uint64()
+	}
+	return b
+}
+
+func benchWords(b *testing.B) []int { b.Helper(); return []int{1, 2, 4, 8} }
+
+func BenchmarkOrInto(b *testing.B) {
+	for _, n := range benchWords(b) {
+		b.Run(sizeName(n), func(b *testing.B) {
+			x, o := randBits(n, 1), randBits(n, 2)
+			dst := make(Bits, n)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				x.OrInto(o, dst)
+			}
+		})
+	}
+}
+
+// BenchmarkCopyOr is the two-step baseline OrInto fuses.
+func BenchmarkCopyOr(b *testing.B) {
+	for _, n := range benchWords(b) {
+		b.Run(sizeName(n), func(b *testing.B) {
+			x, o := randBits(n, 1), randBits(n, 2)
+			dst := make(Bits, n)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				copy(dst, x)
+				dst.Or(o)
+			}
+		})
+	}
+}
+
+func BenchmarkHash(b *testing.B) {
+	for _, n := range benchWords(b) {
+		b.Run(sizeName(n), func(b *testing.B) {
+			x := randBits(n, 1)
+			b.ReportAllocs()
+			var sink uint64
+			for i := 0; i < b.N; i++ {
+				sink ^= x.Hash()
+			}
+			_ = sink
+		})
+	}
+}
+
+// BenchmarkKey is the string-image baseline Hash replaces in the
+// evidence intern table (allocation per call).
+func BenchmarkKey(b *testing.B) {
+	for _, n := range benchWords(b) {
+		b.Run(sizeName(n), func(b *testing.B) {
+			x := randBits(n, 1)
+			b.ReportAllocs()
+			var sink int
+			for i := 0; i < b.N; i++ {
+				sink += len(x.Key())
+			}
+			_ = sink
+		})
+	}
+}
+
+func BenchmarkAndNot(b *testing.B) {
+	for _, n := range benchWords(b) {
+		b.Run(sizeName(n), func(b *testing.B) {
+			x, o := randBits(n, 1), randBits(n, 2)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				x.AndNot(o)
+			}
+		})
+	}
+}
+
+func sizeName(words int) string {
+	return map[int]string{1: "1word", 2: "2words", 4: "4words", 8: "8words"}[words]
+}

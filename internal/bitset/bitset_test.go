@@ -58,6 +58,104 @@ func TestKeyRoundTrip(t *testing.T) {
 	}
 }
 
+func TestOrInto(t *testing.T) {
+	b := FromSlice(192, []int{0, 70, 130})
+	o := FromSlice(192, []int{1, 70, 191})
+	dst := make(Bits, len(b))
+	b.OrInto(o, dst)
+	want := b.Clone()
+	want.Or(o)
+	if !dst.Equal(want) {
+		t.Fatalf("OrInto = %v, want %v", dst, want)
+	}
+	// b must be untouched.
+	if !b.Equal(FromSlice(192, []int{0, 70, 130})) {
+		t.Fatal("OrInto mutated the receiver")
+	}
+	// A shorter o copies b's tail through.
+	short := FromSlice(64, []int{5})
+	b.OrInto(short, dst)
+	want = b.Clone()
+	want.Or(short)
+	if !dst.Equal(want) {
+		t.Fatalf("OrInto with short o = %v, want %v", dst, want)
+	}
+	// Stale dst contents beyond copy range are overwritten within len(b).
+	for i := range dst {
+		dst[i] = ^uint64(0)
+	}
+	b.OrInto(o, dst)
+	want = b.Clone()
+	want.Or(o)
+	if !dst.Equal(want) {
+		t.Fatalf("OrInto over dirty dst = %v, want %v", dst, want)
+	}
+}
+
+func TestQuickOrIntoMatchesCopyOr(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(5)
+		b, o := make(Bits, n), make(Bits, n)
+		for i := 0; i < n; i++ {
+			b[i], o[i] = r.Uint64(), r.Uint64()
+		}
+		dst := make(Bits, n)
+		b.OrInto(o, dst)
+		want := b.Clone()
+		want.Or(o)
+		return dst.Equal(want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHash(t *testing.T) {
+	a := FromSlice(130, []int{1, 64, 129})
+	b := FromSlice(130, []int{1, 64, 129})
+	if a.Hash() != b.Hash() {
+		t.Fatal("equal bitsets hash differently")
+	}
+	if a.Hash() != HashWords(a) {
+		t.Fatal("Hash and HashWords disagree")
+	}
+	c := FromSlice(130, []int{1, 64, 128})
+	if a.Hash() == c.Hash() {
+		t.Fatal("distinct bitsets collided (possible but astronomically unlikely for FNV)")
+	}
+	// The empty bitset hashes deterministically too.
+	if New(130).Hash() != New(130).Hash() {
+		t.Fatal("empty hash not deterministic")
+	}
+}
+
+// TestHashSpread sanity-checks that low bits of the hash — the ones an
+// open-addressing table indexes with — spread near-uniformly over a
+// realistic population of small distinct bitsets.
+func TestHashSpread(t *testing.T) {
+	const buckets = 64
+	var hist [buckets]int
+	n := 0
+	for i := 0; i < 40; i++ {
+		for j := i + 1; j < 40; j++ {
+			b := FromSlice(80, []int{i, j})
+			hist[b.Hash()%buckets]++
+			n++
+		}
+	}
+	max := 0
+	for _, c := range hist {
+		if c > max {
+			max = c
+		}
+	}
+	// Uniform would put n/buckets ≈ 12 in each bucket; tolerate 4x.
+	if max > 4*n/buckets {
+		t.Fatalf("hash skew: largest bucket %d of %d total", max, n)
+	}
+}
+
 func TestIntersects(t *testing.T) {
 	a := FromSlice(128, []int{1, 70})
 	b := FromSlice(128, []int{2, 70})

@@ -1,0 +1,639 @@
+package evidence
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"adc/internal/bitset"
+	"adc/internal/pli"
+	"adc/internal/predicate"
+)
+
+// ClusterBuilder constructs the evidence set cluster- and cache-aware,
+// the block-structured successor of FastBuilder:
+//
+//   - Rows with identical predicate behavior — equal single-tuple masks
+//     and equal PLI codes in every cross-tuple group, in both tuple
+//     roles — are collapsed into one weighted super-row. All w·w' pairs
+//     of a super-row pair share one evidence set, computed once and
+//     counted w·w' times, so equal-heavy relations drop from O(n²)
+//     evidence computations to O(s²) for s distinct signatures.
+//   - Super-rows are sorted by PLI rank (lowest-cardinality groups as
+//     the primary keys) and the pair space is processed in cache-sized
+//     tiles. Within a tile, a low-cardinality group contributes one
+//     fixed operator mask per pair of rank clusters (a rank-run ×
+//     rank-run block) — one comparison per cluster pair instead of one
+//     per tuple pair. High-cardinality groups take a branch-free
+//     segment pass instead: each column tile is pre-sorted by the
+//     group's rank once (shared by every row tile), splitting each
+//     row's comparisons into three contiguous segments (>, =, <) that
+//     are OR-ed without any per-pair comparison or branch.
+//   - Deduplication runs through an open-addressing intern table keyed
+//     directly on the bitset words (word-level FNV hash, arena-backed,
+//     no string allocation); worker-local tables merge with a
+//     word-level combine instead of re-hashing through Go maps.
+//
+// The result is bit-for-bit identical to NaiveBuilder's (tests and the
+// fuzz corpus enforce this); only the construction cost differs.
+type ClusterBuilder struct {
+	// Workers is the number of goroutines; 0 means 1 (single-threaded,
+	// the honest baseline for builder comparisons — AutoBuilder turns
+	// on parallelism when the workload warrants it).
+	Workers int
+	// TileSize is the tile edge in super-rows; 0 means 64, which keeps
+	// a tile row's evidence L1-resident for typical predicate-space
+	// widths.
+	TileSize int
+	// Indexes optionally shares a per-column PLI cache; see
+	// FastBuilder.Indexes.
+	Indexes *pli.Store
+}
+
+// Name implements Builder.
+func (ClusterBuilder) Name() string { return "cluster-tiled" }
+
+// Build implements Builder.
+func (b ClusterBuilder) Build(space *predicate.Space, withVios bool) (*Set, error) {
+	n := space.Rel.NumRows()
+	if n < 2 {
+		return nil, fmt.Errorf("evidence: need at least 2 rows, have %d", n)
+	}
+	workers := b.Workers
+	if workers <= 0 {
+		workers = 1
+	}
+	cp := prepareClusters(preparePlan(space, b.Indexes), n, b.TileSize)
+	return cp.run(space, withVios, workers), nil
+}
+
+// AutoBuilder selects the evidence construction strategy from the data:
+// it prepares the shared PLI plan, collapses rows into super-rows, and
+// then applies a cardinality heuristic. When the signature space barely
+// compresses (s ≈ n) and every operator group is high-cardinality (no
+// rank clusters to batch), the block machinery cannot add much over the
+// per-pair fast kernel, but the intern table still wins — so the
+// cluster kernel runs in both regimes and the heuristic only decides
+// the worker count: single-threaded for small super-pair counts (the
+// goroutine fan-out costs more than the work), parallel beyond that.
+type AutoBuilder struct {
+	// Workers bounds the goroutines used when the heuristic goes
+	// parallel; 0 means GOMAXPROCS.
+	Workers int
+	// Indexes optionally shares a per-column PLI cache; see
+	// FastBuilder.Indexes.
+	Indexes *pli.Store
+}
+
+// Name implements Builder.
+func (AutoBuilder) Name() string { return "auto" }
+
+// autoSerialPairs: below this many super-pairs a single worker beats
+// the goroutine fan-out cost.
+const autoSerialPairs = 1 << 16
+
+// Build implements Builder.
+func (b AutoBuilder) Build(space *predicate.Space, withVios bool) (*Set, error) {
+	n := space.Rel.NumRows()
+	if n < 2 {
+		return nil, fmt.Errorf("evidence: need at least 2 rows, have %d", n)
+	}
+	workers := b.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	cp := prepareClusters(preparePlan(space, b.Indexes), n, 0)
+	if int64(cp.s)*int64(cp.s) < autoSerialPairs {
+		workers = 1
+	}
+	return cp.run(space, withVios, workers), nil
+}
+
+// ---- Cluster plan --------------------------------------------------------
+
+// sparseMask is an operator mask reduced to its nonzero words, so ORs
+// touch only the words a group can set (usually one).
+type sparseMask struct {
+	idxs []int32
+	vals []uint64
+}
+
+func sparsify(b bitset.Bits) sparseMask {
+	var m sparseMask
+	for i, w := range b {
+		if w != 0 {
+			m.idxs = append(m.idxs, int32(i))
+			m.vals = append(m.vals, w)
+		}
+	}
+	return m
+}
+
+// groupMasks are a cross group's three sparse comparison masks.
+type groupMasks struct {
+	lt, eq, gt sparseMask
+}
+
+// colTileIndex is one (scattered group, column tile) pre-sorted view:
+// the tile's positions ordered by the group's code, with the codes in
+// that order. Built once per column tile and shared by every row tile,
+// it turns each row's mask selection into two binary searches and three
+// branch-free segment loops.
+type colTileIndex struct {
+	perm  []int32
+	codes []int32
+}
+
+// clusterPlan is a plan reorganized around super-rows: rows collapsed
+// by full predicate signature, sorted by PLI rank for run batching,
+// with per-group structure-of-arrays code buffers.
+type clusterPlan struct {
+	p    *plan
+	n    int // original rows
+	s    int // super-rows
+	tile int
+
+	members  [][]int32     // super-row -> original row indexes (weight = len)
+	baseMask []bitset.Bits // super-row -> single-tuple mask (aliases plan.rowMask)
+	rowCodes [][]int32     // [group][super-row] code in the first-tuple role
+	colCodes [][]int32     // [group][super-row] code in the second-tuple role
+	masks    []groupMasks
+
+	// clustered groups run the rank-run × rank-run block pass;
+	// scattered groups run the sorted-segment pass over colIdx.
+	clustered []int32
+	scattered []int32
+	colIdx    [][]colTileIndex // [group][column tile]; nil for clustered groups
+}
+
+const defaultTileSize = 64
+
+// clusterRunThreshold classifies groups: a group whose code sequence
+// (after rank sorting) has at most s/4 runs averages runs of ≥4
+// super-rows, enough for the block pass to amortize its bookkeeping.
+func clusterRunThreshold(s int) int { return s / 4 }
+
+// prepareClusters collapses rows into super-rows and lays the plan out
+// for the tiled kernel.
+func prepareClusters(p *plan, n, tileSize int) *clusterPlan {
+	if tileSize <= 0 {
+		tileSize = defaultTileSize
+	}
+	g := len(p.cross)
+	sigWords := p.words + g
+
+	// Signature: the single-tuple mask words plus, per cross group, the
+	// row's code in both tuple roles (packed into one word). Two rows
+	// with equal signatures satisfy exactly the same predicates against
+	// every third row and against each other — they are interchangeable
+	// in both pair positions.
+	tab := newInternTable(sigWords, n)
+	sig := make([]uint64, sigWords)
+	members := make([][]int32, 0, n/2)
+	for i := 0; i < n; i++ {
+		copy(sig, p.rowMask[i])
+		for k := range p.cross {
+			cg := &p.cross[k]
+			sig[p.words+k] = uint64(uint32(cg.ra[i])) | uint64(uint32(cg.rb[i]))<<32
+		}
+		idx, isNew := tab.intern(sig, bitset.HashWords(sig))
+		if isNew {
+			members = append(members, nil)
+		}
+		members[idx] = append(members[idx], int32(i))
+	}
+	s := len(members)
+
+	// Visit order: lexicographic by group code, lowest-cardinality
+	// groups first, so the primary sort keys form the longest runs.
+	byCard := make([]int, g)
+	for k := range byCard {
+		byCard[k] = k
+	}
+	sort.Slice(byCard, func(a, b int) bool {
+		ca, cb := p.cross[byCard[a]].card, p.cross[byCard[b]].card
+		if ca != cb {
+			return ca < cb
+		}
+		return byCard[a] < byCard[b]
+	})
+	rep := make([]int32, s) // representative original row per super-row
+	for t := range members {
+		rep[t] = members[t][0]
+	}
+	ord := make([]int32, s)
+	for t := range ord {
+		ord[t] = int32(t)
+	}
+	sort.Slice(ord, func(a, b int) bool {
+		ra, rb := rep[ord[a]], rep[ord[b]]
+		for _, k := range byCard {
+			cg := &p.cross[k]
+			if cg.ra[ra] != cg.ra[rb] {
+				return cg.ra[ra] < cg.ra[rb]
+			}
+			if cg.rb[ra] != cg.rb[rb] {
+				return cg.rb[ra] < cg.rb[rb]
+			}
+		}
+		return ord[a] < ord[b] // signatures differ only in the mask
+	})
+
+	cp := &clusterPlan{
+		p:        p,
+		n:        n,
+		s:        s,
+		tile:     tileSize,
+		members:  make([][]int32, s),
+		baseMask: make([]bitset.Bits, s),
+		rowCodes: make([][]int32, g),
+		colCodes: make([][]int32, g),
+		masks:    make([]groupMasks, g),
+		colIdx:   make([][]colTileIndex, g),
+	}
+	for k := range p.cross {
+		cp.rowCodes[k] = make([]int32, s)
+		cp.colCodes[k] = make([]int32, s)
+		cp.masks[k] = groupMasks{
+			lt: sparsify(p.cross[k].maskLt),
+			eq: sparsify(p.cross[k].maskEq),
+			gt: sparsify(p.cross[k].maskGt),
+		}
+	}
+	for t, src := range ord {
+		cp.members[t] = members[src]
+		r := rep[src]
+		cp.baseMask[t] = p.rowMask[r]
+		for k := range p.cross {
+			cp.rowCodes[k][t] = p.cross[k].ra[r]
+			cp.colCodes[k][t] = p.cross[k].rb[r]
+		}
+	}
+
+	// Classify groups by their realized run structure in the chosen
+	// order (primary sort keys cluster; late or cross-column keys may
+	// not), and pre-sort column tiles for the scattered ones.
+	threshold := clusterRunThreshold(s)
+	numTiles := (s + tileSize - 1) / tileSize
+	for k := 0; k < g; k++ {
+		runs := countRuns(cp.rowCodes[k]) // row runs drive the block pass
+		if runs <= threshold {
+			cp.clustered = append(cp.clustered, int32(k))
+			continue
+		}
+		cp.scattered = append(cp.scattered, int32(k))
+		cc := cp.colCodes[k]
+		idx := make([]colTileIndex, numTiles)
+		for ti := range idx {
+			c0 := ti * tileSize
+			c1 := c0 + tileSize
+			if c1 > s {
+				c1 = s
+			}
+			perm := make([]int32, c1-c0)
+			for j := range perm {
+				perm[j] = int32(j)
+			}
+			sort.Slice(perm, func(a, b int) bool {
+				pa, pb := perm[a], perm[b]
+				if ca, cb := cc[c0+int(pa)], cc[c0+int(pb)]; ca != cb {
+					return ca < cb
+				}
+				return pa < pb
+			})
+			codes := make([]int32, len(perm))
+			for j, pj := range perm {
+				codes[j] = cc[c0+int(pj)]
+			}
+			idx[ti] = colTileIndex{perm: perm, codes: codes}
+		}
+		cp.colIdx[k] = idx
+	}
+	return cp
+}
+
+func countRuns(codes []int32) int {
+	runs := 0
+	for i, c := range codes {
+		if i == 0 || codes[i-1] != c {
+			runs++
+		}
+	}
+	return runs
+}
+
+// ---- Kernel --------------------------------------------------------------
+
+// clusterAcc is one worker's private accumulation state.
+type clusterAcc struct {
+	tab *internTable
+	// superVios, when vios are requested, counts per distinct evidence
+	// set how many ordered pairs each super-row participates in; it is
+	// expanded to per-tuple counts once, at finish.
+	superVios []map[int32]int64
+}
+
+func newClusterAcc(words int, withVios bool) *clusterAcc {
+	a := &clusterAcc{tab: newInternTable(words, internCapHint)}
+	if withVios {
+		a.superVios = []map[int32]int64{}
+	}
+	return a
+}
+
+func (a *clusterAcc) vios(idx int32) map[int32]int64 {
+	for int(idx) >= len(a.superVios) {
+		a.superVios = append(a.superVios, nil)
+	}
+	if a.superVios[idx] == nil {
+		a.superVios[idx] = make(map[int32]int64)
+	}
+	return a.superVios[idx]
+}
+
+// run executes the tiled kernel across workers and assembles the Set.
+func (cp *clusterPlan) run(space *predicate.Space, withVios bool, workers int) *Set {
+	tileSize := cp.tile
+	numTiles := (cp.s + tileSize - 1) / tileSize
+	if workers > numTiles {
+		workers = numTiles
+	}
+
+	accs := make([]*clusterAcc, workers)
+	if workers <= 1 {
+		accs[0] = newClusterAcc(cp.p.words, withVios)
+		buf := make([]uint64, tileSize*tileSize*max(cp.p.words, 1))
+		for rt := 0; rt < numTiles; rt++ {
+			cp.rowTile(accs[0], buf, rt*tileSize, withVios)
+		}
+	} else {
+		// Strided static assignment: worker w takes row tiles w, w+W,
+		// w+2W, … — interleaving spreads weight skew across workers
+		// while keeping each worker's visit order (and therefore the
+		// merged distinct-set order) deterministic for a fixed W.
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			accs[w] = newClusterAcc(cp.p.words, withVios)
+			wg.Add(1)
+			go func(acc *clusterAcc, w int) {
+				defer wg.Done()
+				buf := make([]uint64, tileSize*tileSize*max(cp.p.words, 1))
+				for rt := w; rt < numTiles; rt += workers {
+					cp.rowTile(acc, buf, rt*tileSize, withVios)
+				}
+			}(accs[w], w)
+		}
+		wg.Wait()
+	}
+
+	base := accs[0]
+	for _, other := range accs[1:] {
+		remap := base.tab.mergeFrom(other.tab)
+		if withVios {
+			for k, sv := range other.superVios {
+				if len(sv) == 0 {
+					continue
+				}
+				dst := base.vios(remap[k])
+				for sr, c := range sv {
+					dst[sr] += c
+				}
+			}
+		}
+	}
+	return cp.finish(space, base, withVios)
+}
+
+// rowTile processes the row band of super-rows [r0, r0+tile) against
+// every column tile.
+func (cp *clusterPlan) rowTile(acc *clusterAcc, buf []uint64, r0 int, withVios bool) {
+	r1 := r0 + cp.tile
+	if r1 > cp.s {
+		r1 = cp.s
+	}
+	for ct := 0; ct*cp.tile < cp.s; ct++ {
+		cp.tileKernel(acc, buf, r0, r1, ct, withVios)
+	}
+}
+
+// tileKernel builds the evidence of every super-pair in the tile
+// [r0,r1) × [c0,c1): base masks copied row-wise, block ORs for
+// clustered groups, segment ORs for scattered groups, then interning.
+func (cp *clusterPlan) tileKernel(acc *clusterAcc, buf []uint64, r0, r1, ct int, withVios bool) {
+	c0 := ct * cp.tile
+	c1 := c0 + cp.tile
+	if c1 > cp.s {
+		c1 = cp.s
+	}
+	rows, cols := r1-r0, c1-c0
+	words := cp.p.words
+
+	// Initialize every pair of the tile with its row's single-tuple
+	// mask. Multi-word rows fill by copy-doubling: one seed pair, then
+	// log₂(cols) growing memmoves instead of one small copy per pair.
+	if words == 1 {
+		for ti := 0; ti < rows; ti++ {
+			w := cp.baseMask[r0+ti][0]
+			row := buf[ti*cols : (ti+1)*cols]
+			for tj := range row {
+				row[tj] = w
+			}
+		}
+	} else if words > 0 {
+		for ti := 0; ti < rows; ti++ {
+			bm := cp.baseMask[r0+ti]
+			row := buf[ti*cols*words : (ti+1)*cols*words]
+			copy(row, bm)
+			for filled := words; filled < len(row); filled *= 2 {
+				copy(row[filled:], row[:filled])
+			}
+		}
+	}
+
+	// Clustered groups, block pass: every rank-run × rank-run block is
+	// one cluster pair, selecting one mask for the whole block.
+	for _, k := range cp.clustered {
+		rc, cc := cp.rowCodes[k], cp.colCodes[k]
+		gm := &cp.masks[k]
+		for ti := 0; ti < rows; {
+			a := rc[r0+ti]
+			te := ti + 1
+			for te < rows && rc[r0+te] == a {
+				te++
+			}
+			for tj := 0; tj < cols; {
+				b := cc[c0+tj]
+				se := tj + 1
+				for se < cols && cc[c0+se] == b {
+					se++
+				}
+				var m *sparseMask
+				switch {
+				case a == b:
+					m = &gm.eq
+				case a < b:
+					m = &gm.lt
+				default:
+					m = &gm.gt
+				}
+				orBlock(buf, ti, te, tj, se, cols, words, m)
+				tj = se
+			}
+			ti = te
+		}
+	}
+
+	// Scattered groups, segment pass, row-major so each tile row's
+	// evidence stays L1-resident across groups. For each row the
+	// sorted column view splits into [0,lo) where the column's code is
+	// below the row's (maskGt), [lo,hi) equal (maskEq), and [hi,cols)
+	// above (maskLt) — no per-pair comparison or branch.
+	for ti := 0; ti < rows; ti++ {
+		rowBase := ti * cols * words
+		for _, k := range cp.scattered {
+			a := cp.rowCodes[k][r0+ti]
+			idx := &cp.colIdx[k][ct]
+			gm := &cp.masks[k]
+			codes := idx.codes
+			// Inlined branchless-ish binary search for the first code
+			// ≥ a (sort.Search's closure call costs as much as the
+			// compare at this trip count).
+			lo, up := 0, len(codes)
+			for lo < up {
+				mid := int(uint(lo+up) >> 1)
+				if codes[mid] < a {
+					lo = mid + 1
+				} else {
+					up = mid
+				}
+			}
+			hi := lo
+			for hi < len(codes) && codes[hi] == a {
+				hi++
+			}
+			orSegment(buf, rowBase, idx.perm[:lo], words, &gm.gt)
+			orSegment(buf, rowBase, idx.perm[lo:hi], words, &gm.eq)
+			orSegment(buf, rowBase, idx.perm[hi:], words, &gm.lt)
+		}
+	}
+
+	// Intern each super-pair with its pair multiplicity.
+	for ti := 0; ti < rows; ti++ {
+		a := r0 + ti
+		wa := int64(len(cp.members[a]))
+		rowBuf := buf[ti*cols*words:]
+		for tj := 0; tj < cols; tj++ {
+			b := c0 + tj
+			var cnt int64
+			if a == b {
+				cnt = wa * (wa - 1) // ordered pairs within one super-row
+				if cnt == 0 {
+					continue
+				}
+			} else {
+				cnt = wa * int64(len(cp.members[b]))
+			}
+			idx := acc.tab.add(rowBuf[tj*words:(tj+1)*words], cnt)
+			if withVios {
+				sv := acc.vios(idx)
+				if a == b {
+					sv[int32(a)] += 2 * (wa - 1)
+				} else {
+					sv[int32(a)] += int64(len(cp.members[b]))
+					sv[int32(b)] += wa
+				}
+			}
+		}
+	}
+}
+
+// orBlock ORs a sparse mask into every pair of the block
+// [ti,te) × [tj,se) of the tile buffer.
+func orBlock(buf []uint64, ti, te, tj, se, cols, words int, m *sparseMask) {
+	if len(m.idxs) == 0 {
+		return
+	}
+	if words == 1 {
+		v := m.vals[0]
+		for t := ti; t < te; t++ {
+			row := buf[t*cols : t*cols+cols]
+			for s := tj; s < se; s++ {
+				row[s] |= v
+			}
+		}
+		return
+	}
+	for t := ti; t < te; t++ {
+		base := t * cols * words
+		if len(m.idxs) == 1 {
+			wi, v := int(m.idxs[0]), m.vals[0]
+			for s := tj; s < se; s++ {
+				buf[base+s*words+wi] |= v
+			}
+			continue
+		}
+		for s := tj; s < se; s++ {
+			off := base + s*words
+			for q, wi := range m.idxs {
+				buf[off+int(wi)] |= m.vals[q]
+			}
+		}
+	}
+}
+
+// orSegment ORs a sparse mask into the pairs (rowBase, perm[...]) of
+// one tile row — the branch-free inner loop of the scattered pass.
+func orSegment(buf []uint64, rowBase int, perm []int32, words int, m *sparseMask) {
+	if len(m.idxs) == 0 || len(perm) == 0 {
+		return
+	}
+	if words == 1 {
+		v := m.vals[0]
+		row := buf[rowBase:]
+		for _, pj := range perm {
+			row[pj] |= v
+		}
+		return
+	}
+	if len(m.idxs) == 1 {
+		wi, v := int(m.idxs[0]), m.vals[0]
+		for _, pj := range perm {
+			buf[rowBase+int(pj)*words+wi] |= v
+		}
+		return
+	}
+	for _, pj := range perm {
+		off := rowBase + int(pj)*words
+		for q, wi := range m.idxs {
+			buf[off+int(wi)] |= m.vals[q]
+		}
+	}
+}
+
+// finish assembles the Set: arena-backed bitset views, counts, and the
+// super-row vios expanded to per-tuple counts.
+func (cp *clusterPlan) finish(space *predicate.Space, acc *clusterAcc, withVios bool) *Set {
+	out := &Set{
+		Space:      space,
+		Sets:       acc.tab.sets(),
+		Counts:     acc.tab.counts,
+		TotalPairs: int64(cp.n) * int64(cp.n-1),
+		NumRows:    cp.n,
+	}
+	if withVios {
+		out.Vios = make([]map[int32]int64, acc.tab.len())
+		for idx := range out.Vios {
+			m := make(map[int32]int64)
+			if idx < len(acc.superVios) {
+				for sr, c := range acc.superVios[idx] {
+					for _, row := range cp.members[sr] {
+						m[row] += c
+					}
+				}
+			}
+			out.Vios[idx] = m
+		}
+	}
+	return out
+}

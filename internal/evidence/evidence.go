@@ -6,13 +6,19 @@
 // per-tuple participation counts ("vios", Figure 2) that the f2 and
 // greedy-f3 approximation functions consume.
 //
-// Two builders are provided. NaiveBuilder evaluates every predicate on
-// every ordered pair, as in FASTDC (Chu et al.); it is the correctness
-// oracle and the evidence-cost baseline. FastBuilder is in the style of
-// DCFinder (Pena et al.): it reduces each operator group to a small
-// comparison code per pair, computed from PLI ranks, and ORs precomputed
-// bit masks — the bit-level construction the paper adopts for its
-// evidence component (Section 4.2, component 3).
+// Several interchangeable builders are provided, all producing
+// bit-for-bit identical evidence. NaiveBuilder evaluates every
+// predicate on every ordered pair, as in FASTDC (Chu et al.); it is
+// the correctness oracle and the evidence-cost baseline. FastBuilder
+// is in the style of DCFinder (Pena et al.): it reduces each operator
+// group to a small comparison code per pair, computed from PLI ranks,
+// and ORs precomputed bit masks — the bit-level construction the paper
+// adopts for its evidence component (Section 4.2, component 3).
+// ParallelBuilder partitions FastBuilder's pair loop across workers.
+// ClusterBuilder collapses signature-identical rows into weighted
+// super-rows and processes rank-sorted, cache-sized tiles with
+// per-cluster-pair mask selection and an arena-backed intern table;
+// AutoBuilder (the adc.Mine default) wraps it with a worker heuristic.
 package evidence
 
 import (

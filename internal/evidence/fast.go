@@ -21,7 +21,13 @@ import (
 //
 // The result is bit-for-bit identical to NaiveBuilder's (tests enforce
 // this); only the construction cost differs.
-type FastBuilder struct{}
+type FastBuilder struct {
+	// Indexes optionally shares a per-column PLI cache (the same store
+	// the violation checker uses) so long-lived callers skip rebuilding
+	// same-attribute indexes. Ignored unless it covers exactly the
+	// relation's columns.
+	Indexes *pli.Store
+}
 
 // Name implements Builder.
 func (FastBuilder) Name() string { return "fast-pli" }
@@ -31,6 +37,7 @@ func (FastBuilder) Name() string { return "fast-pli" }
 type crossGroup struct {
 	ra, rb  []int32
 	numeric bool
+	card    int32       // number of distinct codes across ra ∪ rb
 	maskLt  bitset.Bits // code a<b: {<, <=, !=}
 	maskEq  bitset.Bits // code a=b: {=, <=, >=}
 	maskGt  bitset.Bits // code a>b: {>, >=, !=}
@@ -44,16 +51,25 @@ type plan struct {
 	words   int
 }
 
-// preparePlan computes PLI ranks, operator masks, and single-tuple
-// row masks for a predicate space.
-func preparePlan(space *predicate.Space) *plan {
+// preparePlan computes PLI ranks, operator masks, and single-tuple row
+// masks for a predicate space. A non-nil store that covers the
+// relation's columns supplies cached same-attribute indexes (and is
+// populated for columns it has not built yet); otherwise indexes are
+// built locally and discarded with the plan.
+func preparePlan(space *predicate.Space, store *pli.Store) *plan {
 	rel := space.Rel
 	n := rel.NumRows()
 	words := bitset.WordsFor(space.Size())
 
+	if store != nil && !store.Covers(rel.Columns) {
+		store = nil // e.g. a sampled relation: the cache does not apply
+	}
 	// PLI per column, built lazily (same-attribute groups only need one).
 	indexes := make([]*pli.Index, rel.NumColumns())
 	indexFor := func(col int) *pli.Index {
+		if store != nil {
+			return store.Index(col)
+		}
 		if indexes[col] == nil {
 			indexes[col] = pli.ForColumn(rel.Columns[col])
 		}
@@ -102,18 +118,53 @@ func preparePlan(space *predicate.Space) *plan {
 		case g.A == g.B:
 			idx := indexFor(g.A)
 			cg.ra, cg.rb = idx.ClusterOf, idx.ClusterOf
+			cg.card = int32(idx.NumClusters)
 		case g.Numeric:
 			cg.ra, cg.rb = pli.MergedRanks(rel.Columns[g.A], rel.Columns[g.B])
+			cg.card = maxCode(cg.ra, cg.rb) + 1
 		default:
 			cg.ra, cg.rb = pli.MergedCodes(rel.Columns[g.A], rel.Columns[g.B])
+			cg.card = maxCode(cg.ra, cg.rb) + 1
 		}
 		p.cross = append(p.cross, cg)
 	}
 	return p
 }
 
+// maxCode returns the largest code appearing in either slice (codes are
+// dense, so max+1 is the cardinality of the merged domain).
+func maxCode(ra, rb []int32) int32 {
+	var m int32
+	for _, c := range ra {
+		if c > m {
+			m = c
+		}
+	}
+	for _, c := range rb {
+		if c > m {
+			m = c
+		}
+	}
+	return m
+}
+
+// mask selects the operator mask the group contributes to the ordered
+// pair (i, j).
+func (cg *crossGroup) mask(i, j int) bitset.Bits {
+	a, b := cg.ra[i], cg.rb[j]
+	switch {
+	case a == b:
+		return cg.maskEq
+	case a < b:
+		return cg.maskLt
+	default:
+		return cg.maskGt
+	}
+}
+
 // addPairs feeds every ordered pair (i, j), i ≠ j, with i in
-// [lo, hi), into the accumulator.
+// [lo, hi), into the accumulator. The first cross group is fused with
+// the base-mask copy (bitset.OrInto); the rest OR in place.
 func (p *plan) addPairs(acc *accumulator, lo, hi, n int) {
 	ev := make(bitset.Bits, p.words)
 	for i := lo; i < hi; i++ {
@@ -122,20 +173,13 @@ func (p *plan) addPairs(acc *accumulator, lo, hi, n int) {
 			if i == j {
 				continue
 			}
-			copy(ev, base)
-			for k := range p.cross {
-				cg := &p.cross[k]
-				a, b := cg.ra[i], cg.rb[j]
-				var m bitset.Bits
-				switch {
-				case a == b:
-					m = cg.maskEq
-				case a < b:
-					m = cg.maskLt
-				default:
-					m = cg.maskGt
+			if len(p.cross) == 0 {
+				copy(ev, base)
+			} else {
+				base.OrInto(p.cross[0].mask(i, j), ev)
+				for k := 1; k < len(p.cross); k++ {
+					ev.Or(p.cross[k].mask(i, j))
 				}
-				ev.Or(m)
 			}
 			acc.add(ev, i, j)
 		}
@@ -143,12 +187,12 @@ func (p *plan) addPairs(acc *accumulator, lo, hi, n int) {
 }
 
 // Build implements Builder.
-func (FastBuilder) Build(space *predicate.Space, withVios bool) (*Set, error) {
+func (b FastBuilder) Build(space *predicate.Space, withVios bool) (*Set, error) {
 	n := space.Rel.NumRows()
 	if n < 2 {
 		return nil, fmt.Errorf("evidence: need at least 2 rows, have %d", n)
 	}
-	p := preparePlan(space)
+	p := preparePlan(space, b.Indexes)
 	acc := newAccumulator(space, withVios)
 	p.addPairs(acc, 0, n, n)
 	return acc.finish(), nil

@@ -5,6 +5,7 @@ import (
 	"runtime"
 	"sync"
 
+	"adc/internal/pli"
 	"adc/internal/predicate"
 )
 
@@ -17,6 +18,9 @@ import (
 type ParallelBuilder struct {
 	// Workers is the number of goroutines; 0 means GOMAXPROCS.
 	Workers int
+	// Indexes optionally shares a per-column PLI cache; see
+	// FastBuilder.Indexes.
+	Indexes *pli.Store
 }
 
 // Name implements Builder.
@@ -28,6 +32,13 @@ func (b ParallelBuilder) Build(space *predicate.Space, withVios bool) (*Set, err
 	if n < 2 {
 		return nil, fmt.Errorf("evidence: need at least 2 rows, have %d", n)
 	}
+	return b.buildWithPlan(space, preparePlan(space, b.Indexes), withVios), nil
+}
+
+// buildWithPlan runs the partitioned pair loop on an already-prepared
+// plan.
+func (b ParallelBuilder) buildWithPlan(space *predicate.Space, p *plan, withVios bool) *Set {
+	n := space.Rel.NumRows()
 	workers := b.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -36,10 +47,10 @@ func (b ParallelBuilder) Build(space *predicate.Space, withVios bool) (*Set, err
 		workers = n
 	}
 	if workers == 1 {
-		return FastBuilder{}.Build(space, withVios)
+		acc := newAccumulator(space, withVios)
+		p.addPairs(acc, 0, n, n)
+		return acc.finish()
 	}
-
-	p := preparePlan(space)
 	accs := make([]*accumulator, workers)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -58,7 +69,7 @@ func (b ParallelBuilder) Build(space *predicate.Space, withVios bool) (*Set, err
 	for _, other := range accs[1:] {
 		base.merge(other)
 	}
-	return base.finish(), nil
+	return base.finish()
 }
 
 // merge folds another accumulator's distinct sets into a.

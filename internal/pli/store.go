@@ -31,6 +31,22 @@ func NewStore(cols []*dataset.Column) *Store {
 // NumColumns returns the number of columns the store covers.
 func (s *Store) NumColumns() int { return len(s.cols) }
 
+// Covers reports whether the store caches indexes for exactly these
+// columns (by identity). Callers handed a store alongside a possibly
+// derived relation — a sample, a copy — use it to detect that the
+// cached indexes do not apply.
+func (s *Store) Covers(cols []*dataset.Column) bool {
+	if len(cols) != len(s.cols) {
+		return false
+	}
+	for i, c := range cols {
+		if s.cols[i] != c {
+			return false
+		}
+	}
+	return true
+}
+
 // Index returns the position list index of the column, building it on
 // first use. Concurrent callers of a missing column serialize on the
 // build; later callers get the cached index via the read-locked fast

@@ -596,11 +596,16 @@ func (s *Server) handleMine(w http.ResponseWriter, r *http.Request) {
 func (s *Server) runMine(j *job, sess *session, opts adc.Options) {
 	checker, mineCache := sess.state()
 	opts.Cache = mineCache
+	// Share the checker's column indexes with evidence construction:
+	// a session that has validated (or appended, which patches the
+	// store) does not re-index its columns to mine.
+	opts.Indexes = checker.Indexes()
 	res, err := adc.Mine(checker.Relation(), opts)
 	if err != nil {
 		j.finish(nil, err)
 		return
 	}
+	sess.observeEvidence(res.EvidenceTime, res.Evidence.Distinct())
 	adc.SortDCs(res.DCs)
 	out := &mineResult{
 		NumDCs:     len(res.DCs),
@@ -649,6 +654,15 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	if total := planHits + planMisses + indexHits + indexMisses; total > 0 {
 		hitRate = float64(planHits+indexHits) / float64(total)
 	}
+	// Per-dataset evidence-stage stats: build latency quantiles over
+	// this dataset's mining jobs (cache hits included — the histogram
+	// shows serving reality) and the latest distinct-set count.
+	evidence := make(map[string]evidenceStats)
+	for _, sess := range s.reg.list() {
+		if st, ok := sess.evidenceSnapshot(); ok {
+			evidence[sess.id] = st
+		}
+	}
 	writeJSON(w, http.StatusOK, map[string]any{
 		"uptime_s": time.Since(s.started).Seconds(),
 		"requests": requests,
@@ -666,6 +680,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 			"mem_bytes": memBytes,
 			"evictions": evictions,
 		},
+		"evidence":    evidence,
 		"jobs_active": s.jobs.running(),
 	})
 }

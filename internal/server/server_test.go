@@ -286,6 +286,33 @@ func TestMineJob(t *testing.T) {
 		t.Errorf("cached re-mine found %v DCs, first run %v", again["num_dcs"], result["num_dcs"])
 	}
 
+	// Both mines recorded their evidence stage in /metrics: the build
+	// histogram has two observations and a positive distinct-set count.
+	code, resp = call(t, c, "GET", ts.URL+"/metrics", nil)
+	if code != 200 {
+		t.Fatalf("metrics: status %d", code)
+	}
+	evAll, ok := resp["evidence"].(map[string]any)
+	if !ok {
+		t.Fatalf("metrics has no evidence section: %v", resp)
+	}
+	ev, ok := evAll[id].(map[string]any)
+	if !ok {
+		t.Fatalf("no evidence stats for dataset %s: %v", id, evAll)
+	}
+	if builds := ev["builds"].(float64); builds != 2 {
+		t.Errorf("evidence builds = %v, want 2", builds)
+	}
+	if distinct := ev["distinct_sets"].(float64); distinct <= 0 {
+		t.Errorf("evidence distinct_sets = %v, want > 0", distinct)
+	}
+	if p99 := ev["p99_us"].(float64); p99 <= 0 {
+		t.Errorf("evidence p99_us = %v, want > 0", p99)
+	}
+	if p50 := ev["p50_us"].(float64); p50 <= 0 || p50 > ev["p99_us"].(float64) {
+		t.Errorf("evidence p50_us = %v, want in (0, p99]", p50)
+	}
+
 	if code, _ := call(t, c, "GET", ts.URL+"/jobs/job-999", nil); code != 404 {
 		t.Errorf("unknown job: status %d, want 404", code)
 	}

@@ -29,6 +29,13 @@ type session struct {
 	checker  *adc.Checker
 	mine     *adc.MineCache
 	appends  int64
+
+	// evMu guards the evidence-stage observations of this dataset's
+	// mining jobs: a latency histogram of the evidence component and
+	// the distinct-set count of the latest built evidence set.
+	evMu       sync.Mutex
+	evHist     *histogram
+	evDistinct int
 }
 
 func newSession(id, name string, rel *adc.Relation, golden []string) *session {
@@ -39,7 +46,41 @@ func newSession(id, name string, rel *adc.Relation, golden []string) *session {
 		golden:  golden,
 		checker: adc.NewChecker(rel),
 		mine:    adc.NewMineCache(),
+		evHist:  newHistogram(),
 	}
+}
+
+// observeEvidence records one mining job's evidence-stage duration and
+// the distinct-set count of the evidence it used.
+func (s *session) observeEvidence(d time.Duration, distinct int) {
+	s.evMu.Lock()
+	defer s.evMu.Unlock()
+	s.evHist.observe(d)
+	s.evDistinct = distinct
+}
+
+// evidenceStats is the exported evidence summary of one dataset.
+type evidenceStats struct {
+	Builds       int64   `json:"builds"`
+	DistinctSets int     `json:"distinct_sets"`
+	MeanUS       float64 `json:"mean_us"`
+	P50US        float64 `json:"p50_us"`
+	P99US        float64 `json:"p99_us"`
+}
+
+func (s *session) evidenceSnapshot() (evidenceStats, bool) {
+	s.evMu.Lock()
+	defer s.evMu.Unlock()
+	if s.evHist.count == 0 {
+		return evidenceStats{}, false
+	}
+	return evidenceStats{
+		Builds:       s.evHist.count,
+		DistinctSets: s.evDistinct,
+		MeanUS:       float64(s.evHist.mean()) / float64(time.Microsecond),
+		P50US:        float64(s.evHist.quantile(0.50)) / float64(time.Microsecond),
+		P99US:        float64(s.evHist.quantile(0.99)) / float64(time.Microsecond),
+	}, true
 }
 
 // state returns the current checker and mining cache. Both are safe

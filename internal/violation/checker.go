@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 
 	"adc/internal/dataset"
+	"adc/internal/pli"
 	"adc/internal/predicate"
 )
 
@@ -53,6 +54,14 @@ func NewChecker(rel *dataset.Relation) *Checker {
 
 // Relation returns the relation the Checker is bound to.
 func (c *Checker) Relation() *dataset.Relation { return c.cache.rel }
+
+// Indexes exposes the Checker's per-column PLI store, so other
+// PLI-consuming stages — evidence construction in particular — share
+// one set of indexes with the violation paths instead of rebuilding
+// them. The store is concurrency-safe; AppendRows carries it forward
+// copy-on-write (see pli.Store.Extend), so the sharing survives
+// appends.
+func (c *Checker) Indexes() *pli.Store { return c.cache.store }
 
 // plan returns the cached compilation of the spec, compiling on first
 // use. The cache key is the spec's canonical string form.
