@@ -144,6 +144,12 @@ type Options struct {
 	// (the AFASTDC baseline), or "mmcs" (exact valid DCs only; requires
 	// Epsilon == 0).
 	Algorithm string
+	// Workers is the enumeration worker count for "adcenum": 0 picks
+	// GOMAXPROCS (degrading to the sequential recursion on small
+	// evidence sets), 1 forces sequential, n > 1 distributes search
+	// subtrees across n work-stealing workers. The mined DC set is
+	// identical for every value. Ignored by "searchmc" and "mmcs".
+	Workers int
 	// Evidence selects the evidence-set builder: "auto" (default,
 	// cluster-tiled with a data-driven worker heuristic), "cluster"
 	// (cluster-tiled, single-threaded), "fast" (per-pair PLI/bit-level,
@@ -178,7 +184,10 @@ type Options struct {
 
 // Result is the outcome of a mining run.
 type Result struct {
-	// DCs are the minimal ADCs found, in emission order.
+	// DCs are the minimal ADCs found. The set is deterministic, but its
+	// order is the enumerator's emission order, which under parallel
+	// enumeration (Options.Workers != 1) depends on scheduling; use
+	// SortDCs or RankDCs for a stable presentation order.
 	DCs []DC
 	// Space is the predicate space the DCs refer to.
 	Space *PredicateSpace
@@ -320,6 +329,7 @@ func Mine(rel *Relation, opts Options) (*Result, error) {
 		stats := hitset.EnumerateADC(ev, hitset.Options{
 			Func:                  f,
 			Epsilon:               opts.Epsilon,
+			Workers:               opts.Workers,
 			ChooseMinIntersection: opts.ChooseMinIntersection,
 			MaxPredicates:         opts.MaxPredicates,
 		}, collect)

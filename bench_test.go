@@ -234,6 +234,42 @@ func BenchmarkADCEnumF1(b *testing.B) {
 	}
 }
 
+// ---- Enumeration-stage benchmarks (serial vs parallel ADCEnum) -----------
+
+// benchEnumEvidence builds the enumeration gate workload once: adult is
+// categorical and equal-heavy, and at 80 rows / ε=0.02 the ADCEnum tree
+// is a few tens of thousands of nodes — deep enough that 8 workers stay
+// busy through work stealing, small enough for CI.
+func benchEnumEvidence(b *testing.B) *evidence.Set {
+	b.Helper()
+	d := benchDataset(b, "adult", 80)
+	space := predicate.Build(d.Rel, predicate.DefaultOptions())
+	ev, err := (evidence.ClusterBuilder{}).Build(space, false)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return ev
+}
+
+func benchEnumWorkers(b *testing.B, workers int) {
+	ev := benchEnumEvidence(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		hitset.EnumerateADC(ev, hitset.Options{
+			Func: approx.F1{}, Epsilon: 0.02, MaxPredicates: benchPreds, Workers: workers,
+		}, func(bitset.Bits) {})
+	}
+}
+
+// The CI gate compares the next two benchmarks (BENCH_enum.json records
+// the ratio, min of 3 runs) and requires parallel ≥ 1.8x serial; the
+// worker sweep in between is the scaling curve of EXPERIMENTS.md.
+func BenchmarkEnumSerialAdult(b *testing.B)   { benchEnumWorkers(b, 1) }
+func BenchmarkEnumWorkers2Adult(b *testing.B) { benchEnumWorkers(b, 2) }
+func BenchmarkEnumWorkers4Adult(b *testing.B) { benchEnumWorkers(b, 4) }
+func BenchmarkEnumParallelAdult(b *testing.B) { benchEnumWorkers(b, 8) }
+
 func BenchmarkSearchMCF1(b *testing.B) {
 	ev := benchEvidence(b, false)
 	b.ReportAllocs()

@@ -34,6 +34,7 @@ func run() int {
 		sampleF   = flag.Float64("sample", 1.0, "fraction of tuples to sample (Section 7)")
 		alpha     = flag.Float64("alpha", 0, "confidence α for the sample-threshold correction (f1 only)")
 		algorithm = flag.String("algorithm", "adcenum", "enumerator: adcenum, searchmc, or mmcs")
+		workers   = flag.Int("workers", 0, "enumeration workers for adcenum (0 = auto, 1 = sequential)")
 		evid      = flag.String("evidence", "auto", "evidence builder: auto, cluster, fast, parallel, or naive")
 		maxPreds  = flag.Int("max-preds", 0, "maximum predicates per DC (0 = unbounded)")
 		seed      = flag.Int64("seed", 1, "sampling seed")
@@ -89,6 +90,7 @@ func run() int {
 		SampleFraction: *sampleF,
 		Alpha:          *alpha,
 		Algorithm:      *algorithm,
+		Workers:        *workers,
 		Evidence:       *evid,
 		MaxPredicates:  *maxPreds,
 		Seed:           *seed,

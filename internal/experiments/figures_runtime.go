@@ -21,9 +21,13 @@ func (c Config) timeEnum(ev *evidence.Set, f approx.Func, eps float64,
 	var outputs, calls int64
 	switch algorithm {
 	case "adcenum":
+		// Workers pinned to 1: these figures compare search strategies
+		// (ADCEnum vs SearchMC, branch-choice ablation) by wall time, and
+		// the auto default would let core count contaminate the comparison.
 		stats := hitset.EnumerateADC(ev, hitset.Options{
 			Func:                  f,
 			Epsilon:               eps,
+			Workers:               1,
 			MaxPredicates:         c.MaxPredicates,
 			ChooseMinIntersection: minIntersection,
 		}, func(bitset.Bits) {})

@@ -6,6 +6,13 @@
 // predicate IDs and the subsets to hit are the distinct evidence sets,
 // weighted by multiplicity.
 //
+// ADCEnum runs either as the classic sequential recursion or, with
+// Options.Workers, as a parallel enumeration: the search tree is cut
+// into subtrees identified by their move sequence from the root, and a
+// work-stealing worker pool replays and enumerates them with per-worker
+// bookkeeping (see parallel.go). Both modes emit exactly the same set
+// of hitting sets.
+//
 // As the paper notes (Section 6), ADCEnum is a general algorithm for
 // enumerating minimal approximate hitting sets and is usable outside
 // constraint discovery: build the input with evidence.FromSets and leave
@@ -14,14 +21,18 @@
 package hitset
 
 import (
+	"math/bits"
+	"runtime"
+
 	"adc/internal/approx"
 	"adc/internal/bitset"
 	"adc/internal/evidence"
-	"math"
-	"sort"
 )
 
-// Stats reports the work done by an enumeration run.
+// Stats reports the work done by an enumeration run. Parallel runs keep
+// one Stats per worker and merge them atomically at join, so the totals
+// are exact; because every search node is processed by exactly one
+// worker, the merged counters equal the sequential run's.
 type Stats struct {
 	// Calls counts recursive invocations (both branches), the metric of
 	// the Figure 10 ablation.
@@ -38,6 +49,13 @@ type Options struct {
 	Func approx.Func
 	// Epsilon is the approximation threshold ε ≥ 0 (Definition 4.4).
 	Epsilon float64
+	// Workers selects the enumeration parallelism of EnumerateADC: 0
+	// picks GOMAXPROCS (degrading to the sequential recursion on small
+	// evidence sets, where fan-out costs more than it buys), 1 forces
+	// the sequential recursion, and n > 1 distributes search subtrees
+	// across n workers with work stealing. The emitted set of hitting
+	// sets is identical for every value. EnumerateMinimal ignores it.
+	Workers int
 	// ChooseMinIntersection selects, at each node, the uncovered set with
 	// the minimum intersection with the candidate list, as Murakami and
 	// Uno suggest. The default (false) picks the maximum intersection,
@@ -54,16 +72,49 @@ type Options struct {
 	MaxPredicates int
 }
 
+// autoParallelMinSets is the instance size below which Workers == 0
+// falls back to the sequential recursion: with fewer distinct evidence
+// sets the whole enumeration is cheaper than spinning up a pool.
+const autoParallelMinSets = 128
+
+// clampWorkers bounds Options.Workers to a few workers per core (with
+// floor 32 so explicit small counts behave identically on any machine).
+// Beyond that a worker only adds the footprint of another full state
+// copy — and the field is client-reachable through dcserved mine
+// requests, so an absurd value must not translate into goroutines.
+func clampWorkers(w int) int {
+	limit := 4 * runtime.GOMAXPROCS(0)
+	if limit < 32 {
+		limit = 32
+	}
+	if w > limit {
+		return limit
+	}
+	return w
+}
+
 // EnumerateADC runs ADCEnum over the evidence set and calls emit with
 // every minimal approximate hitting set w.r.t. opts.Func and
 // opts.Epsilon. The bitset passed to emit is reused; clone it to retain.
 // Theorem 6.1: every emitted set is a minimal ADC hitting set, all of
-// them are emitted, and each exactly once.
+// them are emitted, and each exactly once — in parallel runs emit is
+// invoked from worker goroutines but never concurrently, and the emitted
+// set is identical to the sequential run's (order may differ).
 func EnumerateADC(ev *evidence.Set, opts Options, emit func(hs bitset.Bits)) Stats {
-	st := newState(ev, opts)
-	st.emit = emit
-	st.adcEnum()
-	return st.stats
+	workers := clampWorkers(opts.Workers)
+	if workers == 0 {
+		workers = runtime.GOMAXPROCS(0)
+		if len(ev.Sets) < autoParallelMinSets {
+			workers = 1
+		}
+	}
+	if workers <= 1 {
+		st := newState(ev, opts)
+		st.emit = emit
+		st.adcEnum()
+		return st.stats
+	}
+	return enumerateADCParallel(ev, opts, workers, emit)
 }
 
 // EnumerateMinimal runs the exact MMCS algorithm and calls emit with
@@ -81,6 +132,14 @@ func EnumerateMinimal(ev *evidence.Set, opts Options, emit func(hs bitset.Bits))
 // crit, canHit, and the growing hitting set S, all with undo logs so the
 // recursion restores them exactly as the pseudo-code's "recover" lines
 // require.
+//
+// Every branch decision below is a pure function of the *set-valued*
+// state (which sets are uncovered, which elements are candidates, which
+// sets each element is critical for) and never of the incidental order
+// the bookkeeping slices ended up in. The parallel enumerator depends on
+// this: a worker replays a move sequence from a fresh root and must make
+// exactly the choices the enqueuing worker made, even though its slices
+// are permuted differently (see parallel.go).
 type state struct {
 	ev    *evidence.Set
 	opts  Options
@@ -90,9 +149,10 @@ type state struct {
 	universe int
 	sets     []bitset.Bits
 
-	uncov       []int // indexes of sets not yet hit by S
-	uncovPos    []int // position of set k in uncov, or -1
-	uncovWeight int64 // sum of multiplicities over uncov
+	uncov       []int       // indexes of sets not yet hit by S
+	uncovPos    []int       // position of set k in uncov, or -1
+	uncovBits   bitset.Bits // same membership as uncov, for canonical scans
+	uncovWeight int64       // sum of multiplicities over uncov
 	canHit      []bool
 	crit        [][]int // crit[e]: sets for which e is critical
 	cand        bitset.Bits
@@ -116,51 +176,58 @@ type state struct {
 	// candidate loop to avoid per-call allocation.
 	logs []addLog
 
-	// fastPair is set when the approximation function depends only on
-	// the violating-pair count (F1, F1Adjusted): its loss is then
-	// computed in O(1) from uncovWeight instead of rescanning uncov.
-	fastPair bool
-	adjustZ  float64 // z of F1Adjusted; 0 for plain F1
+	// eval evaluates losses of explicit uncovered-set lists; the
+	// fast-path flags below mirror its, for the incremental variants.
+	eval *Evaluator
+	// vioCount/nonzero maintain per-tuple violation participation over
+	// uncov incrementally as sets move in and out (the bookkeeping idea
+	// the paper applies to f1 in Section 5), so F2/greedy-F3 losses
+	// avoid rescanning every uncovered set's vios.
+	vioCount []int64
+	nonzero  int // tuples with vioCount > 0
+	// merged is the reusable uncov+extra buffer of the generic loss path.
+	merged []int
 
-	// fastTuple is set for the built-in tuple-based functions (F2,
-	// GreedyF3): per-tuple violation counts are maintained
-	// incrementally as sets move in and out of uncov, the same
-	// bookkeeping idea the paper applies to f1 (Section 5), so their
-	// losses avoid rescanning every uncovered set's vios.
-	fastTuple bool
-	isF3      bool
-	viosList  [][]tupleCount // per distinct set: (tuple, participation)
-	vioCount  []int64        // per tuple: participation over uncov
-	nonzero   int            // tuples with vioCount > 0
-	scratch   []int64        // per-tuple delta workspace for loss(extra)
-	order     []tupleCount   // reusable sort buffer for greedy f3
-}
-
-// tupleCount is one entry of a distinct evidence set's vios map.
-type tupleCount struct {
-	t int32
-	c int64
+	// sink, when set, receives outputs instead of emit — the parallel
+	// enumerator routes covers through its shared intern (parallel.go).
+	sink func(*state)
+	// offload, when set, is consulted before every recursive descent
+	// with the child's move; returning true means the child subtree was
+	// handed to another worker (or the frontier queue) and must not be
+	// recursed into. path is the move sequence from the root to the
+	// current node, maintained only while offload is set.
+	offload func(m move) bool
+	path    []move
+	// passedPool pools one sibling-outcome mask per branch-2 recursion
+	// depth (distinct live depths: every stack node in its branch-2
+	// phase has a distinct |S|), used only when offload is set.
+	passedPool [][]uint64
+	// undoBuf is the reusable replay journal of runTask.
+	undoBuf []moveUndo
 }
 
 func newState(ev *evidence.Set, opts Options) *state {
 	universe := universeSize(ev)
 	st := &state{
-		ev:       ev,
-		opts:     opts,
-		universe: universe,
-		sets:     ev.Sets,
-		uncovPos: make([]int, len(ev.Sets)),
-		canHit:   make([]bool, len(ev.Sets)),
-		crit:     make([][]int, universe),
-		cand:     bitset.New(universe),
-		sBits:    bitset.New(universe),
-		occ:      make([][]int32, universe),
-		critFor:  make([]int32, len(ev.Sets)),
-		critPos:  make([]int32, len(ev.Sets)),
+		ev:        ev,
+		opts:      opts,
+		universe:  universe,
+		sets:      ev.Sets,
+		uncovPos:  make([]int, len(ev.Sets)),
+		uncovBits: bitset.New(len(ev.Sets)),
+		canHit:    make([]bool, len(ev.Sets)),
+		crit:      make([][]int, universe),
+		cand:      bitset.New(universe),
+		sBits:     bitset.New(universe),
+		occ:       make([][]int32, universe),
+		critFor:   make([]int32, len(ev.Sets)),
+		critPos:   make([]int32, len(ev.Sets)),
+		eval:      NewEvaluator(ev, opts.Func),
 	}
 	for k := range ev.Sets {
 		st.uncov = append(st.uncov, k)
 		st.uncovPos[k] = k
+		st.uncovBits.Set(k)
 		st.uncovWeight += ev.Counts[k]
 		st.canHit[k] = true
 		st.critFor[k] = -1
@@ -171,43 +238,18 @@ func newState(ev *evidence.Set, opts Options) *state {
 	for e := 0; e < universe; e++ {
 		st.cand.Set(e)
 	}
-	switch f := opts.Func.(type) {
-	case approx.F1:
-		st.fastPair = true
-	case approx.F1Adjusted:
-		st.fastPair = true
-		st.adjustZ = f.Z
-	case approx.F2:
-		st.initFastTuple(false)
-	case approx.GreedyF3:
-		st.initFastTuple(true)
+	if st.eval.fastTuple {
+		st.vioCount = make([]int64, ev.NumRows)
+		for k := range ev.Sets {
+			for _, tc := range st.eval.viosList[k] {
+				if st.vioCount[tc.t] == 0 {
+					st.nonzero++
+				}
+				st.vioCount[tc.t] += tc.c
+			}
+		}
 	}
 	return st
-}
-
-// initFastTuple switches on incremental per-tuple violation counts.
-func (st *state) initFastTuple(isF3 bool) {
-	if !st.ev.HasVios() || st.ev.NumRows == 0 {
-		return // generic path; the function will report the problem
-	}
-	st.fastTuple = true
-	st.isF3 = isF3
-	st.viosList = make([][]tupleCount, len(st.ev.Sets))
-	st.vioCount = make([]int64, st.ev.NumRows)
-	st.scratch = make([]int64, st.ev.NumRows)
-	for k, m := range st.ev.Vios {
-		list := make([]tupleCount, 0, len(m))
-		for t, c := range m {
-			list = append(list, tupleCount{t, c})
-		}
-		st.viosList[k] = list
-		for _, tc := range list {
-			if st.vioCount[tc.t] == 0 {
-				st.nonzero++
-			}
-			st.vioCount[tc.t] += tc.c
-		}
-	}
 }
 
 func universeSize(ev *evidence.Set) int {
@@ -233,9 +275,10 @@ func (st *state) uncovRemove(k int) {
 	st.uncovPos[moved] = pos
 	st.uncov = st.uncov[:last]
 	st.uncovPos[k] = -1
+	st.uncovBits.Clear(k)
 	st.uncovWeight -= st.ev.Counts[k]
-	if st.fastTuple {
-		for _, tc := range st.viosList[k] {
+	if st.eval.fastTuple {
+		for _, tc := range st.eval.viosList[k] {
 			st.vioCount[tc.t] -= tc.c
 			if st.vioCount[tc.t] == 0 {
 				st.nonzero--
@@ -247,9 +290,10 @@ func (st *state) uncovRemove(k int) {
 func (st *state) uncovAdd(k int) {
 	st.uncovPos[k] = len(st.uncov)
 	st.uncov = append(st.uncov, k)
+	st.uncovBits.Set(k)
 	st.uncovWeight += st.ev.Counts[k]
-	if st.fastTuple {
-		for _, tc := range st.viosList[k] {
+	if st.eval.fastTuple {
+		for _, tc := range st.eval.viosList[k] {
 			if st.vioCount[tc.t] == 0 {
 				st.nonzero++
 			}
@@ -385,26 +429,36 @@ const chooseScanLimit = 64
 // (restricted to canHit=true for ADCEnum when restrict is set), the one
 // with the max (or min) intersection with cand among a bounded scan.
 // Returns -1 if none qualifies.
+//
+// The scan walks uncovBits in set-index order with ties going to the
+// lowest index, so the choice is a pure function of the uncovered set —
+// not of the incidental order uncov's swap-removes produced. The
+// parallel enumerator's replay correctness depends on this (the serial
+// enumerator only needs *some* deterministic rule).
 func (st *state) chooseUncov(restrict bool) int {
 	best, bestN := -1, -1
 	scanned := 0
-	for _, k := range st.uncov {
-		if restrict && !st.canHit[k] {
-			continue
-		}
-		n := st.sets[k].IntersectionCount(st.cand)
-		if best == -1 {
-			best, bestN = k, n
-		} else if st.opts.ChooseMinIntersection {
-			if n < bestN {
+	for wi, w := range st.uncovBits {
+		for w != 0 {
+			k := wi*64 + bits.TrailingZeros64(w)
+			w &= w - 1
+			if restrict && !st.canHit[k] {
+				continue
+			}
+			n := st.sets[k].IntersectionCount(st.cand)
+			if best == -1 {
+				best, bestN = k, n
+			} else if st.opts.ChooseMinIntersection {
+				if n < bestN {
+					best, bestN = k, n
+				}
+			} else if n > bestN {
 				best, bestN = k, n
 			}
-		} else if n > bestN {
-			best, bestN = k, n
-		}
-		scanned++
-		if scanned >= chooseScanLimit {
-			break
+			scanned++
+			if scanned >= chooseScanLimit {
+				return best
+			}
 		}
 	}
 	return best
@@ -426,8 +480,7 @@ func (st *state) candidatesIn(k int) []int {
 func (st *state) mmcs() {
 	st.stats.Calls++
 	if len(st.uncov) == 0 {
-		st.stats.Outputs++
-		st.emit(st.sBits)
+		st.emitCover()
 		return
 	}
 	if st.opts.MaxPredicates > 0 && len(st.s) >= st.opts.MaxPredicates {
@@ -467,6 +520,18 @@ func (st *state) pop(e int) {
 	st.sBits.Clear(e)
 }
 
+// emitCover reports the current S as an output. Serial runs go straight
+// to the user callback; parallel workers route through the pool's shared
+// intern, which collapses duplicate covers and serializes emit.
+func (st *state) emitCover() {
+	if st.sink != nil {
+		st.sink(st)
+		return
+	}
+	st.stats.Outputs++
+	st.emit(st.sBits)
+}
+
 // ---- ADCEnum (Figures 4 and 5) -------------------------------------------
 
 // loss evaluates 1 − f(D, S′) for the DC whose uncovered sets are the
@@ -474,52 +539,52 @@ func (st *state) pop(e int) {
 // uncovWeight and run in O(|extra|).
 func (st *state) loss(extra []int) float64 {
 	st.stats.LossEvals++
-	if st.fastPair {
+	if st.eval.fastPair {
 		viol := st.uncovWeight
 		for _, k := range extra {
 			viol += st.ev.Counts[k]
 		}
-		return st.pairLoss(viol)
+		return st.eval.pairLoss(viol)
 	}
-	if st.fastTuple {
+	if st.eval.fastTuple {
 		return st.tupleLoss(extra)
 	}
-	if len(extra) == 0 {
-		return st.opts.Func.Loss(st.ev, st.uncov)
-	}
-	merged := make([]int, 0, len(st.uncov)+len(extra))
-	merged = append(merged, st.uncov...)
-	merged = append(merged, extra...)
-	return st.opts.Func.Loss(st.ev, merged)
+	// Generic path: LossOf canonicalizes the order, so a custom Func
+	// sees inputs independent of the traversal history and serial and
+	// parallel runs cannot diverge.
+	st.merged = append(st.merged[:0], st.uncov...)
+	st.merged = append(st.merged, extra...)
+	return st.eval.LossOf(st.merged)
 }
 
 // tupleLoss computes the F2 or greedy-F3 loss for uncov plus the
 // (disjoint) extra sets from the maintained per-tuple counts, matching
 // approx.F2 / approx.GreedyF3 exactly. The extra deltas are staged in
-// scratch and rolled back through the touched list.
+// the evaluator's scratch and rolled back through the touched list.
 func (st *state) tupleLoss(extra []int) float64 {
+	e := st.eval
 	n := st.ev.NumRows
 	var touched []int32
 	involved := st.nonzero
 	for _, k := range extra {
-		for _, tc := range st.viosList[k] {
-			if st.vioCount[tc.t]+st.scratch[tc.t] == 0 {
+		for _, tc := range e.viosList[k] {
+			if st.vioCount[tc.t]+e.scratch[tc.t] == 0 {
 				involved++
 			}
-			if st.scratch[tc.t] == 0 {
+			if e.scratch[tc.t] == 0 {
 				touched = append(touched, tc.t)
 			}
-			st.scratch[tc.t] += tc.c
+			e.scratch[tc.t] += tc.c
 		}
 	}
 	var result float64
-	if !st.isF3 {
+	if !e.isF3 {
 		result = float64(involved) / float64(n)
 	} else {
 		result = st.greedyF3(extra)
 	}
 	for _, t := range touched {
-		st.scratch[t] = 0
+		e.scratch[t] = 0
 	}
 	return result
 }
@@ -527,8 +592,9 @@ func (st *state) tupleLoss(extra []int) float64 {
 // greedyF3 is Figure 2's algorithm over the maintained counts: sort the
 // involved tuples by violation participation, take tuples until the
 // covered count reaches the total violating pairs, return |R|/|D|.
-// Assumes scratch already holds the extra deltas.
+// Assumes the evaluator's scratch already holds the extra deltas.
 func (st *state) greedyF3(extra []int) float64 {
+	e := st.eval
 	u := st.uncovWeight
 	for _, k := range extra {
 		u += st.ev.Counts[k]
@@ -536,41 +602,13 @@ func (st *state) greedyF3(extra []int) float64 {
 	if u == 0 {
 		return 0
 	}
-	st.order = st.order[:0]
+	e.order = e.order[:0]
 	for t := range st.vioCount {
-		if v := st.vioCount[t] + st.scratch[t]; v > 0 {
-			st.order = append(st.order, tupleCount{int32(t), v})
+		if v := st.vioCount[t] + e.scratch[t]; v > 0 {
+			e.order = append(e.order, tupleCount{int32(t), v})
 		}
 	}
-	sort.Slice(st.order, func(a, b int) bool { return st.order[a].c > st.order[b].c })
-	var covered int64
-	removed := 0
-	for _, tc := range st.order {
-		if covered >= u {
-			break
-		}
-		covered += tc.c
-		removed++
-	}
-	return float64(removed) / float64(st.ev.NumRows)
-}
-
-// pairLoss maps a violating-pair count to the loss of F1 (or
-// F1Adjusted when adjustZ is set), mirroring the approx package.
-func (st *state) pairLoss(viol int64) float64 {
-	if st.ev.TotalPairs == 0 {
-		return 0
-	}
-	n := float64(st.ev.TotalPairs)
-	p := float64(viol) / n
-	if st.adjustZ == 0 {
-		return p
-	}
-	l := p + st.adjustZ*math.Sqrt(p*(1-p)/n)
-	if l > 1 {
-		return 1
-	}
-	return l
+	return float64(greedyRemovals(e.order, u)) / float64(st.ev.NumRows)
 }
 
 // isMinimal is the subroutine of Figure 5: S is minimal iff no single
@@ -592,14 +630,14 @@ func (st *state) isMinimal() bool {
 // exceeds ε, monotonicity prunes the branch.
 func (st *state) willCover() bool {
 	st.stats.LossEvals++
-	if st.fastPair {
+	if st.eval.fastPair {
 		var viol int64
 		for _, k := range st.uncov {
 			if !st.canHit[k] {
 				viol += st.ev.Counts[k]
 			}
 		}
-		return st.pairLoss(viol) <= st.opts.Epsilon
+		return st.eval.pairLoss(viol) <= st.opts.Epsilon
 	}
 	var unhittable []int
 	for _, k := range st.uncov {
@@ -607,55 +645,7 @@ func (st *state) willCover() bool {
 			unhittable = append(unhittable, k)
 		}
 	}
-	if st.fastTuple {
-		return st.lossOver(unhittable) <= st.opts.Epsilon
-	}
-	return st.opts.Func.Loss(st.ev, unhittable) <= st.opts.Epsilon
-}
-
-// lossOver computes the F2/greedy-F3 loss of exactly the given sets
-// (not uncov ∪ extra) using the scratch workspace, avoiding the
-// per-call map allocation of the generic functions.
-func (st *state) lossOver(setIdxs []int) float64 {
-	var touched []int32
-	involved := 0
-	var u int64
-	for _, k := range setIdxs {
-		u += st.ev.Counts[k]
-		for _, tc := range st.viosList[k] {
-			if st.scratch[tc.t] == 0 {
-				involved++
-				touched = append(touched, tc.t)
-			}
-			st.scratch[tc.t] += tc.c
-		}
-	}
-	var result float64
-	if !st.isF3 {
-		result = float64(involved) / float64(st.ev.NumRows)
-	} else if u == 0 {
-		result = 0
-	} else {
-		st.order = st.order[:0]
-		for _, t := range touched {
-			st.order = append(st.order, tupleCount{t, st.scratch[t]})
-		}
-		sort.Slice(st.order, func(a, b int) bool { return st.order[a].c > st.order[b].c })
-		var covered int64
-		removed := 0
-		for _, tc := range st.order {
-			if covered >= u {
-				break
-			}
-			covered += tc.c
-			removed++
-		}
-		result = float64(removed) / float64(st.ev.NumRows)
-	}
-	for _, t := range touched {
-		st.scratch[t] = 0
-	}
-	return result
+	return st.eval.LossOf(unhittable) <= st.opts.Epsilon
 }
 
 // updateCanHit is UpdateCanCover of Figure 5: mark every uncovered set
@@ -688,12 +678,45 @@ func (st *state) removeOperatorVariants(e int) []int {
 	return removed
 }
 
+// descend recurses into the child subtree reached by move m, unless the
+// offload hook (parallel mode) hands the subtree to another worker.
+func (st *state) descend(m move) {
+	if st.offload != nil {
+		if st.offload(m) {
+			return
+		}
+		st.path = append(st.path, m)
+		st.adcEnum()
+		st.path = st.path[:len(st.path)-1]
+		return
+	}
+	st.adcEnum()
+}
+
+// passedAt returns the pooled, zeroed sibling-outcome mask for branch-2
+// recursion depth d, sized for n candidates.
+func (st *state) passedAt(d, n int) []uint64 {
+	for len(st.passedPool) <= d {
+		st.passedPool = append(st.passedPool, nil)
+	}
+	words := (n + 63) / 64
+	buf := st.passedPool[d]
+	if cap(buf) < words {
+		buf = make([]uint64, words)
+	}
+	buf = buf[:words]
+	for i := range buf {
+		buf[i] = 0
+	}
+	st.passedPool[d] = buf
+	return buf
+}
+
 func (st *state) adcEnum() {
 	st.stats.Calls++
 	if st.loss(nil) <= st.opts.Epsilon {
 		if st.isMinimal() {
-			st.stats.Outputs++
-			st.emit(st.sBits)
+			st.emitCover()
 		}
 		return
 	}
@@ -714,7 +737,7 @@ func (st *state) adcEnum() {
 	}
 	flipped := st.updateCanHit()
 	if st.willCover() {
-		st.adcEnum()
+		st.descend(move{take: moveSkip})
 	}
 	for _, k := range flipped {
 		st.canHit[k] = true
@@ -729,17 +752,27 @@ func (st *state) adcEnum() {
 	for _, e := range c {
 		st.cand.Clear(e)
 	}
-	for _, e := range c {
+	// In parallel mode, record which candidates pass the crit check, so
+	// an offloaded later sibling can replay this node without re-running
+	// the checks (the mask rides along in the task's move).
+	var passed []uint64
+	if st.offload != nil {
+		passed = st.passedAt(len(st.s), len(c))
+	}
+	for i, e := range c {
 		log := st.updateCritUncov(e, len(st.s))
 		if st.critNonEmptyForAll() && len(st.crit[e]) > 0 {
 			variants := st.removeOperatorVariants(e)
 			st.push(e)
-			st.adcEnum()
+			st.descend(move{take: int32(i), passed: passed})
 			st.pop(e)
 			for _, m := range variants {
 				st.cand.Set(m)
 			}
 			st.cand.Set(e)
+			if passed != nil {
+				passed[i>>6] |= 1 << (uint(i) & 63)
+			}
 		}
 		st.undoCritUncov(log)
 	}

@@ -3,6 +3,7 @@ package hitset_test
 import (
 	"math/rand"
 	"sort"
+	"sync"
 	"testing"
 
 	"adc/internal/approx"
@@ -314,6 +315,68 @@ func TestF2AndGreedyF3Enumerate(t *testing.T) {
 		for _, dc := range dcs {
 			if l := approx.LossOfHittingSet(f, ev, dc.HittingSet()); l > 0.15+1e-12 {
 				t.Errorf("%s: output %s has loss %v", f.Name(), dc, l)
+			}
+		}
+	}
+}
+
+// bruteLossOf recomputes a hitting set's loss from scratch: scan every
+// distinct set for intersection, hand the uncovered indexes to the
+// approximation function's own generic implementation. It shares no
+// bookkeeping with the enumerator (no uncov/crit/canHit, no incremental
+// counters), so it is the independent checker of the properties below.
+func bruteLossOf(f approx.Func, ev *evidence.Set, hs bitset.Bits) float64 {
+	var uncovered []int
+	for k, s := range ev.Sets {
+		if !s.Intersects(hs) {
+			uncovered = append(uncovered, k)
+		}
+	}
+	return f.Loss(ev, uncovered)
+}
+
+// TestEnumeratedCoversValidAndMinimal is the output-side property of
+// Theorem 6.1, re-verified brute-force for every built-in approximation
+// function and for both the sequential and the parallel enumerator:
+// every emitted cover (a) keeps the loss within ε and (b) is minimal —
+// dropping any single element pushes the loss above ε — and (c) no
+// cover is emitted twice.
+func TestEnumeratedCoversValidAndMinimal(t *testing.T) {
+	const tol = 1e-12
+	r := rand.New(rand.NewSource(45))
+	for trial := 0; trial < 80; trial++ {
+		ev, _ := randomVioInstance(r)
+		f := fuzzFuncs[trial%len(fuzzFuncs)]
+		for _, eps := range []float64{0, 0.08, 0.3} {
+			for _, workers := range []int{1, 4} {
+				var covers []bitset.Bits
+				var mu sync.Mutex
+				hitset.EnumerateADC(ev, hitset.Options{Func: f, Epsilon: eps, Workers: workers},
+					func(hs bitset.Bits) {
+						mu.Lock()
+						covers = append(covers, hs.Clone())
+						mu.Unlock()
+					})
+				seen := map[string]bool{}
+				for _, hs := range covers {
+					if seen[hs.Key()] {
+						t.Fatalf("trial %d %s eps %v workers %d: cover %v emitted twice",
+							trial, f.Name(), eps, workers, hs)
+					}
+					seen[hs.Key()] = true
+					if l := bruteLossOf(f, ev, hs); l > eps+tol {
+						t.Fatalf("trial %d %s eps %v workers %d: emitted cover %v has loss %v > ε",
+							trial, f.Name(), eps, workers, hs, l)
+					}
+					hs.ForEach(func(e int) {
+						smaller := hs.Clone()
+						smaller.Clear(e)
+						if l := bruteLossOf(f, ev, smaller); l <= eps+tol {
+							t.Fatalf("trial %d %s eps %v workers %d: cover %v is not minimal (dropping %d keeps loss %v)",
+								trial, f.Name(), eps, workers, hs, e, l)
+						}
+					})
+				}
 			}
 		}
 	}

@@ -22,6 +22,7 @@ import (
 	"adc/internal/approx"
 	"adc/internal/bitset"
 	"adc/internal/evidence"
+	"adc/internal/hitset"
 )
 
 // Stats reports the search effort.
@@ -51,6 +52,12 @@ type searcher struct {
 	emit  func(bitset.Bits)
 	stats Stats
 
+	// eval shares hitset's loss-evaluation split: pair-counting and
+	// tuple-based built-ins run allocation-free instead of through the
+	// generic map-building Func.Loss, so the Figure 6 comparison
+	// measures search strategy rather than loss-evaluation overhead.
+	eval *hitset.Evaluator
+
 	found []bitset.Bits // accepted minimal covers, for subset pruning
 	path  bitset.Bits
 	elems []int
@@ -70,7 +77,13 @@ func Search(ev *evidence.Set, opts Options, emit func(hs bitset.Bits)) Stats {
 			}
 		}
 	}
-	s := &searcher{ev: ev, opts: opts, emit: emit, path: bitset.New(universe)}
+	s := &searcher{
+		ev:   ev,
+		opts: opts,
+		emit: emit,
+		eval: hitset.NewEvaluator(ev, opts.Func),
+		path: bitset.New(universe),
+	}
 	all := make([]int, universe)
 	for i := range all {
 		all[i] = i
@@ -85,7 +98,7 @@ func Search(ev *evidence.Set, opts Options, emit func(hs bitset.Bits)) Stats {
 
 func (s *searcher) loss(uncovered []int) float64 {
 	s.stats.LossEvals++
-	return s.opts.Func.Loss(s.ev, uncovered)
+	return s.eval.LossOf(uncovered)
 }
 
 func (s *searcher) search(cands, uncovered []int) {

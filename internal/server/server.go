@@ -541,11 +541,14 @@ func (s *Server) handleRepair(w http.ResponseWriter, r *http.Request) {
 // ---- Mining jobs ---------------------------------------------------------
 
 type mineRequest struct {
-	// Approx, Epsilon, Algorithm, Evidence, SampleFraction, Alpha,
-	// Seed, and MaxPredicates mirror adc.Options.
+	// Approx, Epsilon, Algorithm, Workers, Evidence, SampleFraction,
+	// Alpha, Seed, and MaxPredicates mirror adc.Options. Workers is the
+	// enumeration worker count (0 = auto); the mined DC set does not
+	// depend on it.
 	Approx         string  `json:"approx,omitempty"`
 	Epsilon        float64 `json:"epsilon,omitempty"`
 	Algorithm      string  `json:"algorithm,omitempty"`
+	Workers        int     `json:"workers,omitempty"`
 	Evidence       string  `json:"evidence,omitempty"`
 	SampleFraction float64 `json:"sample_fraction,omitempty"`
 	Alpha          float64 `json:"alpha,omitempty"`
@@ -579,6 +582,7 @@ func (s *Server) handleMine(w http.ResponseWriter, r *http.Request) {
 		Approx:         req.Approx,
 		Epsilon:        req.Epsilon,
 		Algorithm:      req.Algorithm,
+		Workers:        req.Workers,
 		Evidence:       req.Evidence,
 		SampleFraction: req.SampleFraction,
 		Alpha:          req.Alpha,

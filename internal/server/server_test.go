@@ -270,9 +270,10 @@ func TestMineJob(t *testing.T) {
 	}
 
 	// A second identical mine hits the session's evidence cache: poll
-	// to completion and check it still agrees.
+	// to completion and check it still agrees. It runs with 8
+	// enumeration workers — the mined set must not depend on "workers".
 	code, resp = call(t, c, "POST", ts.URL+"/datasets/"+id+"/mine",
-		map[string]any{"approx": "f1", "epsilon": 0.01, "max_predicates": 3, "seed": 1})
+		map[string]any{"approx": "f1", "epsilon": 0.01, "max_predicates": 3, "seed": 1, "workers": 8})
 	if code != http.StatusAccepted {
 		t.Fatalf("re-mine: status %d", code)
 	}
