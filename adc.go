@@ -85,6 +85,10 @@ type (
 	// PredicateOptions configures predicate-space generation (the 30%
 	// common-values rule, single-tuple and cross-column predicates).
 	PredicateOptions = predicate.Options
+	// IngestOptions tunes the streaming chunk-parallel CSV reader
+	// (worker count and chunk size); the parsed relation is identical
+	// for every setting.
+	IngestOptions = dataset.IngestOptions
 	// PredicateSpace is the generated predicate space P_R.
 	PredicateSpace = predicate.Space
 	// EvidenceSet is the evidence set Evi(D) with multiplicities.
@@ -112,7 +116,11 @@ var (
 	NewFloatColumn  = dataset.NewFloatColumn
 	ReadCSV         = dataset.ReadCSV
 	ReadCSVFile     = dataset.ReadCSVFile
-	ParseOperator   = predicate.ParseOperator
+	// ReadCSVOptions and ReadCSVFileOptions expose the streaming
+	// reader's IngestOptions (ReadCSV/ReadCSVFile use the defaults).
+	ReadCSVOptions     = dataset.ReadCSVOptions
+	ReadCSVFileOptions = dataset.ReadCSVFileOptions
+	ParseOperator      = predicate.ParseOperator
 	// BuildPredicateSpace generates P_R for a relation.
 	BuildPredicateSpace = predicate.Build
 	// DefaultPredicateOptions mirrors the paper's setup.

@@ -38,6 +38,8 @@ func run() int {
 		evid      = flag.String("evidence", "auto", "evidence builder: auto, cluster, fast, parallel, or naive")
 		maxPreds  = flag.Int("max-preds", 0, "maximum predicates per DC (0 = unbounded)")
 		seed      = flag.Int64("seed", 1, "sampling seed")
+		ingestW   = flag.Int("ingest-workers", 0, "CSV ingest parse workers (0 = GOMAXPROCS)")
+		chunkRows = flag.Int("chunk-rows", 0, "CSV ingest rows per parse chunk (0 = default)")
 		top       = flag.Int("top", 0, "print only the first N DCs (0 = all)")
 		ranked    = flag.Bool("rank", false, "order by FASTDC interestingness instead of length")
 		stats     = flag.Bool("stats", true, "print run statistics")
@@ -79,11 +81,14 @@ func run() int {
 		}()
 	}
 
-	rel, err := adc.ReadCSVFile(*input, *header)
+	ingestStart := time.Now()
+	rel, err := adc.ReadCSVFileOptions(*input, *header,
+		adc.IngestOptions{Workers: *ingestW, ChunkRows: *chunkRows})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "adcminer:", err)
 		return 1
 	}
+	ingestTime := time.Since(ingestStart)
 	res, err := adc.Mine(rel, adc.Options{
 		Approx:         *fn,
 		Epsilon:        *eps,
@@ -120,10 +125,10 @@ func run() int {
 		fmt.Fprintf(os.Stderr,
 			"mined %d minimal ADCs (%s, eps=%g) from %d/%d rows in %v\n"+
 				"  predicate space %d, distinct evidence sets %d\n"+
-				"  space %v | sample %v | evidence %v | enumeration %v (%d calls)\n",
+				"  ingest %v | space %v | sample %v | evidence %v | enumeration %v (%d calls)\n",
 			len(dcs), *fn, *eps, res.SampleRows, rel.NumRows(), res.Total.Round(ms),
 			res.Space.Size(), res.Evidence.Distinct(),
-			res.PredicateSpaceTime.Round(ms), res.SampleTime.Round(ms),
+			ingestTime.Round(ms), res.PredicateSpaceTime.Round(ms), res.SampleTime.Round(ms),
 			res.EvidenceTime.Round(ms), res.EnumTime.Round(ms), res.EnumCalls)
 	}
 	return 0

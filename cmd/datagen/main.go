@@ -6,26 +6,40 @@
 //	datagen -dataset tax -rows 10000 > tax.csv
 //	datagen -dataset food -rows 5000 -noise spread -rate 0.001 > food_dirty.csv
 //	datagen -dataset stock -golden
+//	datagen -dataset adult -rows 100000 -verify > adult.csv
+//
+// With -verify the emitted CSV is simultaneously fed through the
+// streaming ingest reader (adc.ReadCSVOptions, tuned by -ingest-workers
+// and -chunk-rows) and the parsed relation is checked against the
+// generated one — shape, column types, and row rendering — so type
+// flips introduced by CSV round-tripping (for example a float column
+// whose sampled values all happen to print as integers) are caught at
+// generation time instead of at mine time.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"math/rand"
 	"os"
 	"strings"
 
+	"adc"
 	"adc/internal/datagen"
 )
 
 func main() {
 	var (
-		name   = flag.String("dataset", "tax", "dataset: "+strings.Join(datagen.Names(), ", "))
-		rows   = flag.Int("rows", 1000, "number of rows to generate")
-		seed   = flag.Int64("seed", 1, "generation seed")
-		noise  = flag.String("noise", "none", "noise model: none, spread, or skewed")
-		rate   = flag.Float64("rate", 0.001, "noise rate (cell probability or tuple fraction)")
-		golden = flag.Bool("golden", false, "print the golden DCs instead of data")
+		name    = flag.String("dataset", "tax", "dataset: "+strings.Join(datagen.Names(), ", "))
+		rows    = flag.Int("rows", 1000, "number of rows to generate")
+		seed    = flag.Int64("seed", 1, "generation seed")
+		noise   = flag.String("noise", "none", "noise model: none, spread, or skewed")
+		rate    = flag.Float64("rate", 0.001, "noise rate (cell probability or tuple fraction)")
+		golden  = flag.Bool("golden", false, "print the golden DCs instead of data")
+		verify  = flag.Bool("verify", false, "stream the emitted CSV back through the ingest reader and check the round trip")
+		ingestW = flag.Int("ingest-workers", 0, "ingest parse workers for -verify (0 = GOMAXPROCS)")
+		chunk   = flag.Int("chunk-rows", 0, "ingest rows per parse chunk for -verify (0 = default)")
 	)
 	flag.Parse()
 
@@ -51,8 +65,70 @@ func main() {
 		fmt.Fprintf(os.Stderr, "datagen: unknown noise model %q\n", *noise)
 		os.Exit(2)
 	}
-	if err := rel.WriteCSV(os.Stdout); err != nil {
+
+	var out io.Writer = os.Stdout
+	var parsed chan parseResult
+	var pw *io.PipeWriter
+	if *verify {
+		// Tee the CSV into the streaming reader as it is written; the
+		// reader parses chunks concurrently with generation.
+		var pr *io.PipeReader
+		pr, pw = io.Pipe()
+		out = io.MultiWriter(os.Stdout, pw)
+		parsed = make(chan parseResult, 1)
+		opt := adc.IngestOptions{Workers: *ingestW, ChunkRows: *chunk}
+		go func() {
+			back, err := adc.ReadCSVOptions(pr, rel.Name, true, opt)
+			pr.CloseWithError(err) // unblock the writer if parsing fails early
+			parsed <- parseResult{back, err}
+		}()
+	}
+	if err := rel.WriteCSV(out); err != nil {
 		fmt.Fprintln(os.Stderr, "datagen:", err)
 		os.Exit(1)
 	}
+	if *verify {
+		pw.Close()
+		res := <-parsed
+		if res.err != nil {
+			fmt.Fprintln(os.Stderr, "datagen: verify:", res.err)
+			os.Exit(1)
+		}
+		if err := roundTripEqual(rel, res.rel); err != nil {
+			fmt.Fprintln(os.Stderr, "datagen: verify:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "datagen: verify: %d rows, %d columns round-trip clean\n",
+			res.rel.NumRows(), res.rel.NumColumns())
+	}
+}
+
+type parseResult struct {
+	rel *adc.Relation
+	err error
+}
+
+// roundTripEqual checks that the re-ingested relation matches the
+// generated one in shape, column names and types, and row rendering.
+func roundTripEqual(want, got *adc.Relation) error {
+	if got.NumRows() != want.NumRows() || got.NumColumns() != want.NumColumns() {
+		return fmt.Errorf("shape changed: got %dx%d, want %dx%d",
+			got.NumRows(), got.NumColumns(), want.NumRows(), want.NumColumns())
+	}
+	for j, c := range want.Columns {
+		g := got.Columns[j]
+		if g.Name != c.Name {
+			return fmt.Errorf("column %d renamed: got %q, want %q", j, g.Name, c.Name)
+		}
+		if g.Type != c.Type {
+			return fmt.Errorf("column %q type flipped: got %v, want %v (CSV text does not preserve it)",
+				c.Name, g.Type, c.Type)
+		}
+	}
+	for i := 0; i < want.NumRows(); i++ {
+		if got.Row(i) != want.Row(i) {
+			return fmt.Errorf("row %d changed: got %s, want %s", i, got.Row(i), want.Row(i))
+		}
+	}
+	return nil
 }

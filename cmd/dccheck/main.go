@@ -61,6 +61,8 @@ type config struct {
 	top      int
 	repair   bool
 	asJSON   bool
+	ingestW  int
+	chunk    int
 }
 
 func main() {
@@ -80,6 +82,8 @@ func main() {
 	flag.IntVar(&cfg.top, "top", 5, "dirtiest tuples shown (0 = none)")
 	flag.BoolVar(&cfg.repair, "repair", false, "compute a greedy repair set")
 	flag.BoolVar(&cfg.asJSON, "json", false, "emit a JSON report instead of text")
+	flag.IntVar(&cfg.ingestW, "ingest-workers", 0, "CSV ingest parse workers (0 = GOMAXPROCS)")
+	flag.IntVar(&cfg.chunk, "chunk-rows", 0, "CSV ingest rows per parse chunk (0 = default)")
 	flag.Var(&dcFlags, "dc", "constraint in paper notation (repeatable)")
 	flag.Parse()
 	cfg.dcFlags = dcFlags
@@ -135,7 +139,8 @@ func (s *syncWriter) Flush() {
 
 // run performs the whole check and returns the process exit code.
 func run(out io.Writer, cfg config) int {
-	rel, err := adc.ReadCSVFile(cfg.input, cfg.header)
+	rel, err := adc.ReadCSVFileOptions(cfg.input, cfg.header,
+		adc.IngestOptions{Workers: cfg.ingestW, ChunkRows: cfg.chunk})
 	if err != nil {
 		return fail(err)
 	}

@@ -38,6 +38,7 @@ import (
 	"os"
 	"time"
 
+	"adc"
 	"adc/internal/server"
 	"adc/internal/sigctx"
 )
@@ -50,6 +51,8 @@ func main() {
 		maxBodyMB   = flag.Int64("max-body-mb", 64, "max request body size in MiB")
 		grace       = flag.Duration("shutdown-grace", 10*time.Second, "graceful shutdown timeout")
 		pprofOn     = flag.Bool("pprof", false, "serve /debug/pprof/ profiling endpoints (do not expose publicly)")
+		ingWorkers  = flag.Int("ingest-workers", 0, "CSV ingest parse workers (0 = GOMAXPROCS)")
+		chunkRows   = flag.Int("chunk-rows", 0, "CSV ingest rows per parse chunk (0 = default)")
 	)
 	flag.Parse()
 
@@ -57,6 +60,7 @@ func main() {
 		MaxDatasets:  *maxDatasets,
 		MaxMemBytes:  *maxMemMB << 20,
 		MaxBodyBytes: *maxBodyMB << 20,
+		Ingest:       adc.IngestOptions{Workers: *ingWorkers, ChunkRows: *chunkRows},
 	})
 	handler := srv.Handler()
 	if *pprofOn {

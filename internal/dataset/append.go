@@ -72,7 +72,10 @@ func (c *Column) appendValues(records [][]string, j int) (*Column, error) {
 
 // MemBytes estimates the heap footprint of the column: value storage,
 // dictionary codes, and for string columns the string bytes plus a
-// nominal per-entry overhead for headers and the dictionary.
+// nominal per-entry overhead for headers and the dictionary. Interned
+// columns (streaming ingest) count each distinct value's bytes once —
+// every row aliases a dictionary entry, so per-row accounting would
+// charge the session memory cap for bytes that were never allocated.
 func (c *Column) MemBytes() int64 {
 	switch c.Type {
 	case Int:
@@ -81,8 +84,12 @@ func (c *Column) MemBytes() int64 {
 		return int64(len(c.Floats)) * 8
 	default:
 		b := int64(len(c.Codes)) * 4
-		for _, s := range c.Strings {
-			b += int64(len(s)) + 16
+		if c.interned {
+			b += int64(len(c.Strings)) * 16 // headers only; bytes shared
+		} else {
+			for _, s := range c.Strings {
+				b += int64(len(s)) + 16
+			}
 		}
 		for s := range c.dict {
 			b += int64(len(s)) + 24

@@ -15,7 +15,22 @@ import (
 // integer becomes Int; failing that, Float; otherwise String. Empty cells
 // force a column to String (the miner has no null semantics; an empty
 // string is an ordinary value).
+//
+// ReadCSV streams: it runs the chunk-parallel reader of ReadCSVOptions
+// with default options (GOMAXPROCS workers) and never materializes the
+// file as [][]string. The parsed relation is bit-identical to the
+// historical buffered implementation (up to ReadCSVOptions' 2 GiB
+// per-row arena limit, the one input class the buffered reader could
+// in principle accept and this one rejects).
 func ReadCSV(rd io.Reader, name string, header bool) (*Relation, error) {
+	return ReadCSVOptions(rd, name, header, IngestOptions{})
+}
+
+// readCSVBuffered is the original csv.ReadAll-based implementation,
+// retained as the correctness oracle for the streaming reader: the
+// differential and fuzz tests require ReadCSVOptions to reproduce its
+// output (and its errors) exactly. It is not called in production.
+func readCSVBuffered(rd io.Reader, name string, header bool) (*Relation, error) {
 	cr := csv.NewReader(rd)
 	cr.FieldsPerRecord = -1
 	records, err := cr.ReadAll()
@@ -59,6 +74,11 @@ func ReadCSV(rd io.Reader, name string, header bool) (*Relation, error) {
 // ReadCSVFile reads a relation from a CSV file on disk; the relation is
 // named after the file.
 func ReadCSVFile(path string, header bool) (*Relation, error) {
+	return ReadCSVFileOptions(path, header, IngestOptions{})
+}
+
+// ReadCSVFileOptions is ReadCSVFile with explicit ingest options.
+func ReadCSVFileOptions(path string, header bool, opt IngestOptions) (*Relation, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
@@ -69,7 +89,7 @@ func ReadCSVFile(path string, header bool) (*Relation, error) {
 		base = base[i+1:]
 	}
 	base = strings.TrimSuffix(base, ".csv")
-	return ReadCSV(f, base, header)
+	return ReadCSVOptions(f, base, header, opt)
 }
 
 func inferColumn(name string, raw []string) *Column {

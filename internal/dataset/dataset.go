@@ -58,6 +58,11 @@ type Column struct {
 	Strings []string
 	Codes   []int32 // dictionary codes, String columns only
 	dict    map[string]int32
+	// interned marks String columns whose Strings entries alias the
+	// dictionary (one string object per distinct value, built by the
+	// streaming ingest path), so MemBytes can count each value's bytes
+	// once instead of once per row.
+	interned bool
 }
 
 // NewStringColumn builds a dictionary-encoded string column.

@@ -1,0 +1,5 @@
+package dataset
+
+// Test-only exports: the buffered csv.ReadAll reader is the correctness
+// oracle the streaming reader is differentially tested against.
+var ReadCSVBuffered = readCSVBuffered

@@ -1,0 +1,83 @@
+package dataset_test
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"adc/internal/dataset"
+)
+
+// FuzzReadCSVStream differentially fuzzes the streaming chunk-parallel
+// reader against the buffered csv.ReadAll oracle: on every input —
+// ragged rows, empty cells, type-flip columns, CRLF, quotes, whatever
+// the fuzzer invents — both must agree on accept/reject, and on accept
+// the parsed relations must match cell for cell. Error equality is
+// deliberately accept/reject only: the buffered reader reads the whole
+// file before validating row widths, so when an input has both a CSV
+// syntax error and an earlier width error the two paths legitimately
+// report different (correct) failures.
+func FuzzReadCSVStream(f *testing.F) {
+	seeds := []string{
+		"a,b\n1,2\n3,4\n",
+		"a,b\n1,x\n,y\n3,z\n",   // empty cell forces String
+		"a,b\n1,2\n3\n",         // ragged
+		"a,b\r\n1,x\r\n2,y\r\n", // CRLF
+		"a\n1\n2\n3.5\nx\n",     // Int → Float → String flips
+		"c\n\"quoted,comma\"\n\"line\nfeed\"\n",
+		"a,b\n +1 ,\t-0\n-2,0\n1.5,2\n",      // signs, whitespace, neg zero
+		"a\n9223372036854775808\n1\n",        // int64 overflow → Float
+		"a\nnan\ninf\n-Inf\n1e308\n0x1p-3\n", // float spellings
+		"s\nx\ny\nx\nz\nx\n",                 // dictionary dedup
+		"a,a\n1,2\n",                         // duplicate column names
+		"\xc2\xa0x\n1\n",                     // non-ASCII whitespace in cells
+		"a,b\n\"unterminated\n",              // CSV syntax error
+		"",
+		"h\n",
+	}
+	for _, s := range seeds {
+		f.Add(s, true, uint8(3), uint8(7))
+		f.Add(s, false, uint8(1), uint8(1))
+	}
+	f.Fuzz(func(t *testing.T, in string, header bool, workers, chunkRows uint8) {
+		opt := dataset.IngestOptions{
+			Workers:   int(workers%8) + 1,
+			ChunkRows: int(chunkRows%16) + 1,
+		}
+		want, wantErr := dataset.ReadCSVBuffered(strings.NewReader(in), "f", header)
+		got, gotErr := dataset.ReadCSVOptions(strings.NewReader(in), "f", header, opt)
+		if (wantErr == nil) != (gotErr == nil) {
+			t.Fatalf("accept/reject mismatch (%+v): buffered err=%v, streaming err=%v", opt, wantErr, gotErr)
+		}
+		if wantErr != nil {
+			return
+		}
+		if got.NumRows() != want.NumRows() || got.NumColumns() != want.NumColumns() {
+			t.Fatalf("shape mismatch (%+v)", opt)
+		}
+		for j, w := range want.Columns {
+			g := got.Columns[j]
+			if g.Name != w.Name || g.Type != w.Type {
+				t.Fatalf("column %d: (%q,%v) vs (%q,%v)", j, g.Name, g.Type, w.Name, w.Type)
+			}
+			if !reflect.DeepEqual(g.Ints, w.Ints) || !reflect.DeepEqual(g.Strings, w.Strings) ||
+				!reflect.DeepEqual(g.Codes, w.Codes) {
+				t.Fatalf("column %q values differ", w.Name)
+			}
+			for i := range g.Floats {
+				a, b := g.Floats[i], w.Floats[i]
+				if a != b && !(a != a && b != b) { // bitwise-ish: NaN matches NaN
+					t.Fatalf("column %q row %d: %v vs %v", w.Name, i, a, b)
+				}
+			}
+			// Sign of zero must survive the int-chunk re-parse path.
+			for i := range g.Floats {
+				if g.Floats[i] == 0 && w.Floats[i] == 0 {
+					if (1/g.Floats[i] < 0) != (1/w.Floats[i] < 0) {
+						t.Fatalf("column %q row %d: zero sign differs", w.Name, i)
+					}
+				}
+			}
+		}
+	})
+}

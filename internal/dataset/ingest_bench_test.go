@@ -1,0 +1,60 @@
+package dataset_test
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"adc/internal/dataset"
+)
+
+// benchCSV builds an adult-shaped workload: categorical string columns
+// with realistic dictionary pressure, plus int and float columns.
+func benchCSV(rows int) []byte {
+	rng := rand.New(rand.NewSource(1))
+	var buf bytes.Buffer
+	buf.WriteString("workclass,education,occupation,age,hours,weight\n")
+	for i := 0; i < rows; i++ {
+		fmt.Fprintf(&buf, "wc%d,ed%d,occ%d,%d,%d,%d.%d\n",
+			rng.Intn(9), rng.Intn(16), rng.Intn(15),
+			17+rng.Intn(60), 1+rng.Intn(99), 10000+rng.Intn(900000), rng.Intn(100))
+	}
+	return buf.Bytes()
+}
+
+func benchRead(b *testing.B, read func([]byte) error) {
+	raw := benchCSV(20000)
+	b.SetBytes(int64(len(raw)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := read(raw); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkReadCSVBuffered is the historical csv.ReadAll path (kept as
+// the test oracle): the [][]string materialization plus serial
+// inference is the allocation profile the streaming reader removes.
+func BenchmarkReadCSVBuffered(b *testing.B) {
+	benchRead(b, func(raw []byte) error {
+		_, err := dataset.ReadCSVBuffered(bytes.NewReader(raw), "d", true)
+		return err
+	})
+}
+
+func BenchmarkReadCSVStream1(b *testing.B) {
+	benchRead(b, func(raw []byte) error {
+		_, err := dataset.ReadCSVOptions(bytes.NewReader(raw), "d", true, dataset.IngestOptions{Workers: 1})
+		return err
+	})
+}
+
+func BenchmarkReadCSVStream8(b *testing.B) {
+	benchRead(b, func(raw []byte) error {
+		_, err := dataset.ReadCSVOptions(bytes.NewReader(raw), "d", true, dataset.IngestOptions{Workers: 8})
+		return err
+	})
+}

@@ -1,0 +1,313 @@
+package dataset_test
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+
+	"adc/internal/dataset"
+)
+
+// ingestVariants is the worker × chunk-size grid the differential tests
+// sweep: the serial path, small chunks that force many shard-dictionary
+// merges, chunk sizes that do not divide the row count, and more
+// workers than chunks.
+var ingestVariants = []dataset.IngestOptions{
+	{Workers: 1, ChunkRows: 1},
+	{Workers: 1, ChunkRows: 7},
+	{Workers: 2, ChunkRows: 3},
+	{Workers: 2, ChunkRows: 64},
+	{Workers: 8, ChunkRows: 5},
+	{Workers: 8, ChunkRows: 1024},
+	{}, // defaults: GOMAXPROCS workers
+}
+
+// relContentEqual compares two relations on everything the engine
+// reads: shape, names, types, raw values, and dictionary codes. It is
+// the cross-implementation comparison (the buffered oracle does not set
+// the interned flag, so reflect.DeepEqual does not apply).
+func relContentEqual(t *testing.T, label string, got, want *dataset.Relation) {
+	t.Helper()
+	if got.NumRows() != want.NumRows() || got.NumColumns() != want.NumColumns() {
+		t.Fatalf("%s: shape (%d,%d), want (%d,%d)", label,
+			got.NumRows(), got.NumColumns(), want.NumRows(), want.NumColumns())
+	}
+	for j, w := range want.Columns {
+		g := got.Columns[j]
+		if g.Name != w.Name || g.Type != w.Type {
+			t.Fatalf("%s: column %d is (%q,%v), want (%q,%v)", label, j, g.Name, g.Type, w.Name, w.Type)
+		}
+		if !reflect.DeepEqual(g.Ints, w.Ints) {
+			t.Fatalf("%s: column %q Ints differ", label, w.Name)
+		}
+		if len(g.Floats) != len(w.Floats) {
+			t.Fatalf("%s: column %q Floats length differs", label, w.Name)
+		}
+		for i := range g.Floats {
+			// Bitwise comparison: -0.0 vs +0.0 and NaN payloads must
+			// match the oracle's strconv.ParseFloat output exactly.
+			if fmt.Sprintf("%x", g.Floats[i]) != fmt.Sprintf("%x", w.Floats[i]) {
+				t.Fatalf("%s: column %q row %d: float %v (%x), want %v (%x)",
+					label, w.Name, i, g.Floats[i], g.Floats[i], w.Floats[i], w.Floats[i])
+			}
+		}
+		if !reflect.DeepEqual(g.Strings, w.Strings) {
+			t.Fatalf("%s: column %q Strings differ", label, w.Name)
+		}
+		if !reflect.DeepEqual(g.Codes, w.Codes) {
+			t.Fatalf("%s: column %q Codes differ", label, w.Name)
+		}
+	}
+}
+
+func hasNaN(r *dataset.Relation) bool {
+	for _, c := range r.Columns {
+		for _, v := range c.Floats {
+			if v != v {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// csvCases are handcrafted inputs covering the inference edges: type
+// flips across chunk boundaries, empty cells, whitespace trimming,
+// CRLF, quoted separators, overflow, and float spellings.
+func csvCases() map[string]string {
+	var flip strings.Builder
+	flip.WriteString("a,b,c\n")
+	for i := 0; i < 100; i++ {
+		fmt.Fprintf(&flip, "%d,%d.5,v%d\n", i, i, i%7)
+	}
+	flip.WriteString("3.25,xyz,v1\n") // late flips: a Int→Float, b Float→String
+	for i := 0; i < 50; i++ {
+		fmt.Fprintf(&flip, "%d,%d,v%d\n", i, i, i%3)
+	}
+
+	return map[string]string{
+		"types":      "name,age,score,zip\nalice,30,1.5,02139\nbob,25,2.5,10001\n",
+		"flip":       flip.String(),
+		"empty_cell": "a,b\n1,x\n,y\n3,z\n",
+		"whitespace": "a,b\n 1 ,\tx\n 2 , y \n",
+		"crlf":       "a,b\r\n1,x\r\n2,y\r\n",
+		"quoted":     "a,b\n\"1,5\",\"line\nbreak\"\n\"2,5\",plain\n",
+		"signs":      "a,b,c\n+1,-0,1e3\n-2,+0,0x1p-2\n",
+		"overflow":   "a\n9223372036854775807\n9223372036854775808\n",
+		"negzero":    "a\n-0\n-0\n1.5\n", // int-looking chunks must re-parse as ParseFloat (-0.0, not +0.0)
+		"nan_inf":    "a\nnan\n+Inf\n-inf\n",
+		"dup_vals":   "s\nx\ny\nx\nx\ny\nz\nx\n",
+		"no_header":  "1,x\n2,y\n3,x\n",
+	}
+}
+
+// TestIngestMatchesBuffered is the primary differential: every worker /
+// chunk-size variant must produce exactly the buffered oracle's output
+// on every case, and all variants must be reflect.DeepEqual to each
+// other (the streaming paths share the interned representation).
+func TestIngestMatchesBuffered(t *testing.T) {
+	for name, in := range csvCases() {
+		t.Run(name, func(t *testing.T) {
+			header := name != "no_header"
+			want, err := dataset.ReadCSVBuffered(strings.NewReader(in), "d", header)
+			if err != nil {
+				t.Fatalf("oracle: %v", err)
+			}
+			var first *dataset.Relation
+			for _, opt := range ingestVariants {
+				label := fmt.Sprintf("workers=%d,chunk=%d", opt.Workers, opt.ChunkRows)
+				got, err := dataset.ReadCSVOptions(strings.NewReader(in), "d", header, opt)
+				if err != nil {
+					t.Fatalf("%s: %v", label, err)
+				}
+				relContentEqual(t, label, got, want)
+				// DeepEqual additionally pins the internal representation
+				// (dictionaries, interning) across variants; it cannot
+				// apply to NaN-bearing relations (NaN != NaN), which the
+				// bitwise content check above already covers.
+				if hasNaN(got) {
+					continue
+				}
+				if first == nil {
+					first = got
+				} else if !reflect.DeepEqual(got, first) {
+					t.Fatalf("%s: streaming output not bit-identical across variants", label)
+				}
+			}
+		})
+	}
+}
+
+// TestIngestRandomized fuzzes shapes cheaply at test time: random
+// column kinds, random type-flip rows, random empties.
+func TestIngestRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	kinds := []string{"int", "float", "str", "mixed"}
+	for trial := 0; trial < 25; trial++ {
+		cols := 1 + rng.Intn(5)
+		rows := 1 + rng.Intn(200)
+		var sb strings.Builder
+		kind := make([]string, cols)
+		for j := 0; j < cols; j++ {
+			kind[j] = kinds[rng.Intn(len(kinds))]
+			if j > 0 {
+				sb.WriteByte(',')
+			}
+			fmt.Fprintf(&sb, "col%d", j)
+		}
+		sb.WriteByte('\n')
+		for i := 0; i < rows; i++ {
+			for j := 0; j < cols; j++ {
+				if j > 0 {
+					sb.WriteByte(',')
+				}
+				switch k := kind[j]; {
+				case rng.Intn(50) == 0:
+					// occasional empty or spacey cell
+					sb.WriteString([]string{"", "  ", "\t"}[rng.Intn(3)])
+				case k == "int":
+					fmt.Fprintf(&sb, "%d", rng.Intn(1000)-500)
+				case k == "float":
+					fmt.Fprintf(&sb, "%g", (rng.Float64()-0.5)*1e6)
+				case k == "str":
+					fmt.Fprintf(&sb, "s%d", rng.Intn(20))
+				default: // mixed: int-looking with occasional flips
+					if rng.Intn(10) == 0 {
+						fmt.Fprintf(&sb, "x%d", rng.Intn(5))
+					} else {
+						fmt.Fprintf(&sb, "%d", rng.Intn(100))
+					}
+				}
+			}
+			sb.WriteByte('\n')
+		}
+		in := sb.String()
+		want, err := dataset.ReadCSVBuffered(strings.NewReader(in), "r", true)
+		if err != nil {
+			t.Fatalf("trial %d oracle: %v", trial, err)
+		}
+		opt := dataset.IngestOptions{Workers: 1 + rng.Intn(8), ChunkRows: 1 + rng.Intn(64)}
+		got, err := dataset.ReadCSVOptions(strings.NewReader(in), "r", true, opt)
+		if err != nil {
+			t.Fatalf("trial %d (%+v): %v", trial, opt, err)
+		}
+		relContentEqual(t, fmt.Sprintf("trial %d (%+v)", trial, opt), got, want)
+	}
+}
+
+// TestIngestWidthErrors pins the single-validation-point behavior: a
+// mid-file width change fails with the offending 1-based data row
+// number, identically to the buffered oracle, for every chunking.
+func TestIngestWidthErrors(t *testing.T) {
+	cases := map[string]struct {
+		in     string
+		header bool
+	}{
+		"short row":       {"a,b\n1,2\n3\n4,5\n", true},
+		"long row":        {"a,b\n1,2\n3,4,5\n", true},
+		"first data row":  {"a,b\n1\n", true},
+		"no header short": {"1,2\n3\n", false},
+		"late change":     {"a\n1\n2\n3\n4\n5\n6\n7\n8\n9\n10,11\n", true},
+	}
+	for name, tc := range cases {
+		t.Run(name, func(t *testing.T) {
+			_, wantErr := dataset.ReadCSVBuffered(strings.NewReader(tc.in), "d", tc.header)
+			if wantErr == nil {
+				t.Fatal("oracle accepted malformed input")
+			}
+			for _, opt := range ingestVariants {
+				_, err := dataset.ReadCSVOptions(strings.NewReader(tc.in), "d", tc.header, opt)
+				if err == nil {
+					t.Fatalf("%+v: want error %q, got nil", opt, wantErr)
+				}
+				if err.Error() != wantErr.Error() {
+					t.Fatalf("%+v: error %q, want %q", opt, err, wantErr)
+				}
+			}
+		})
+	}
+}
+
+// TestIngestEmptyAndHeaderOnly pins the empty-input errors.
+func TestIngestEmptyAndHeaderOnly(t *testing.T) {
+	for name, in := range map[string]string{"empty": "", "header only": "a,b\n"} {
+		_, wantErr := dataset.ReadCSVBuffered(strings.NewReader(in), "d", true)
+		_, err := dataset.ReadCSVOptions(strings.NewReader(in), "d", true, dataset.IngestOptions{})
+		if wantErr == nil || err == nil {
+			t.Fatalf("%s: want errors from both paths", name)
+		}
+		if err.Error() != wantErr.Error() {
+			t.Fatalf("%s: error %q, want %q", name, err, wantErr)
+		}
+	}
+}
+
+// TestIngestInternedMemBytes checks the honest accounting: a column of
+// heavily repeated strings must charge the distinct bytes once, so the
+// interned estimate stays well under the per-row estimate the buffered
+// path reports for identical content.
+func TestIngestInternedMemBytes(t *testing.T) {
+	var sb strings.Builder
+	sb.WriteString("s\n")
+	long := strings.Repeat("value", 20) // 100 bytes per occurrence
+	for i := 0; i < 1000; i++ {
+		sb.WriteString(long)
+		sb.WriteByte('\n')
+	}
+	in := sb.String()
+	streamed, err := dataset.ReadCSVOptions(strings.NewReader(in), "d", true, dataset.IngestOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	buffered, err := dataset.ReadCSVBuffered(strings.NewReader(in), "d", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sm, bm := streamed.MemBytes(), buffered.MemBytes()
+	if sm >= bm/2 {
+		t.Fatalf("interned MemBytes %d not clearly below per-row estimate %d", sm, bm)
+	}
+	if sm < 1000*16 {
+		t.Fatalf("interned MemBytes %d below the row-header floor", sm)
+	}
+}
+
+// TestWriteReadRoundTripLarge pushes a multi-chunk relation through
+// WriteCSV → streaming read and back, comparing rendered rows.
+func TestWriteReadRoundTripLarge(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	n := 10000
+	ints := make([]int64, n)
+	floats := make([]float64, n)
+	strs := make([]string, n)
+	for i := 0; i < n; i++ {
+		ints[i] = int64(rng.Intn(50))
+		floats[i] = float64(rng.Intn(1000))/8 + 0.125 // exact in binary; survives text
+		strs[i] = fmt.Sprintf("cat-%d", rng.Intn(12))
+	}
+	rel := dataset.MustNewRelation("big", []*dataset.Column{
+		dataset.NewIntColumn("i", ints),
+		dataset.NewFloatColumn("f", floats),
+		dataset.NewStringColumn("s", strs),
+	})
+	var buf bytes.Buffer
+	if err := rel.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := dataset.ReadCSVOptions(bytes.NewReader(buf.Bytes()), "big", true,
+		dataset.IngestOptions{Workers: 4, ChunkRows: 333})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumRows() != n {
+		t.Fatalf("rows = %d, want %d", back.NumRows(), n)
+	}
+	for _, i := range []int{0, 1, 999, 4096, 4097, n - 1} {
+		if back.Row(i) != rel.Row(i) {
+			t.Fatalf("row %d: %s, want %s", i, back.Row(i), rel.Row(i))
+		}
+	}
+}

@@ -3,7 +3,7 @@ package evidence
 import (
 	"fmt"
 	"runtime"
-	"sort"
+	"slices"
 	"sync"
 
 	"adc/internal/bitset"
@@ -211,12 +211,11 @@ func prepareClusters(p *plan, n, tileSize int) *clusterPlan {
 	for k := range byCard {
 		byCard[k] = k
 	}
-	sort.Slice(byCard, func(a, b int) bool {
-		ca, cb := p.cross[byCard[a]].card, p.cross[byCard[b]].card
-		if ca != cb {
-			return ca < cb
+	slices.SortFunc(byCard, func(a, b int) int {
+		if ca, cb := p.cross[a].card, p.cross[b].card; ca != cb {
+			return int(ca - cb)
 		}
-		return byCard[a] < byCard[b]
+		return a - b
 	})
 	rep := make([]int32, s) // representative original row per super-row
 	for t := range members {
@@ -226,18 +225,18 @@ func prepareClusters(p *plan, n, tileSize int) *clusterPlan {
 	for t := range ord {
 		ord[t] = int32(t)
 	}
-	sort.Slice(ord, func(a, b int) bool {
-		ra, rb := rep[ord[a]], rep[ord[b]]
+	slices.SortFunc(ord, func(a, b int32) int {
+		ra, rb := rep[a], rep[b]
 		for _, k := range byCard {
 			cg := &p.cross[k]
 			if cg.ra[ra] != cg.ra[rb] {
-				return cg.ra[ra] < cg.ra[rb]
+				return int(cg.ra[ra] - cg.ra[rb])
 			}
 			if cg.rb[ra] != cg.rb[rb] {
-				return cg.rb[ra] < cg.rb[rb]
+				return int(cg.rb[ra] - cg.rb[rb])
 			}
 		}
-		return ord[a] < ord[b] // signatures differ only in the mask
+		return int(a - b) // signatures differ only in the mask
 	})
 
 	cp := &clusterPlan{
@@ -295,12 +294,11 @@ func prepareClusters(p *plan, n, tileSize int) *clusterPlan {
 			for j := range perm {
 				perm[j] = int32(j)
 			}
-			sort.Slice(perm, func(a, b int) bool {
-				pa, pb := perm[a], perm[b]
+			slices.SortFunc(perm, func(pa, pb int32) int {
 				if ca, cb := cc[c0+int(pa)], cc[c0+int(pb)]; ca != cb {
-					return ca < cb
+					return int(ca - cb)
 				}
-				return pa < pb
+				return int(pa - pb)
 			})
 			codes := make([]int32, len(perm))
 			for j, pj := range perm {

@@ -64,13 +64,26 @@ func preparePlan(space *predicate.Space, store *pli.Store) *plan {
 	if store != nil && !store.Covers(rel.Columns) {
 		store = nil // e.g. a sampled relation: the cache does not apply
 	}
-	// PLI per column, built lazily (same-attribute groups only need one).
-	indexes := make([]*pli.Index, rel.NumColumns())
+	// PLI per column: collect the columns same-attribute groups need and
+	// build their indexes in parallel up front (cold mines previously
+	// built them one at a time on one core).
+	need := []int{} // non-nil: an empty need set must not build all columns
+	for gi := range space.Groups {
+		if g := &space.Groups[gi]; g.Cross && g.A == g.B {
+			need = append(need, g.A)
+		}
+	}
+	var indexes []*pli.Index
+	if store != nil {
+		store.Warm(need, 0)
+	} else {
+		indexes = pli.BuildIndexes(rel.Columns, need, 0)
+	}
 	indexFor := func(col int) *pli.Index {
 		if store != nil {
 			return store.Index(col)
 		}
-		if indexes[col] == nil {
+		if indexes[col] == nil { // not in need: build on demand
 			indexes[col] = pli.ForColumn(rel.Columns[col])
 		}
 		return indexes[col]

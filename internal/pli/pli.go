@@ -9,9 +9,12 @@
 package pli
 
 import (
+	"runtime"
+	"slices"
 	"sort"
 
 	"adc/internal/dataset"
+	"adc/internal/par"
 )
 
 // Index is the position list index of one column. ClusterOf maps each
@@ -30,43 +33,153 @@ type Index struct {
 	// search instead of rebuilding the index.
 	NumKeys []float64
 	// CodeCluster, for string columns, maps the column's dictionary code
-	// of a value to its cluster ID — the same lookup ForColumn uses to
-	// renumber codes densely, retained for incremental extension.
+	// of a value to its cluster ID, retained for incremental extension
+	// (Store.Extend). nil means identity: the column's codes were
+	// already dense in first-occurrence order (every constructor-built
+	// column), so cluster id == code for all codes < NumClusters and no
+	// map is materialized. Use LookupCode instead of indexing directly.
 	CodeCluster map[int32]int32
 }
 
 // ForColumn builds the index of a column.
 func ForColumn(c *dataset.Column) *Index {
-	n := c.Len()
-	idx := &Index{ClusterOf: make([]int32, n), Numeric: c.Type.Numeric()}
-	if idx.Numeric {
-		// Dense-rank rows by value.
-		vals := make([]float64, n)
-		for i := 0; i < n; i++ {
-			vals[i] = c.Num(i)
-		}
-		order := make([]int, n)
-		for i := range order {
-			order[i] = i
-		}
-		sort.Slice(order, func(a, b int) bool { return vals[order[a]] < vals[order[b]] })
-		cluster := int32(-1)
-		var prev float64
-		for k, row := range order {
-			if k == 0 || vals[row] != prev {
-				cluster++
-				idx.Clusters = append(idx.Clusters, nil)
-				idx.NumKeys = append(idx.NumKeys, vals[row])
-				prev = vals[row]
-			}
-			idx.ClusterOf[row] = cluster
-			idx.Clusters[cluster] = append(idx.Clusters[cluster], int32(row))
-		}
-		idx.NumClusters = len(idx.Clusters)
-		return idx
+	if c.Type.Numeric() {
+		return forNumericColumn(c)
 	}
-	// Strings: dictionary codes already identify clusters; renumber them
-	// densely in first-appearance order.
+	return forStringColumn(c)
+}
+
+// forNumericColumn dense-ranks rows by value via a rank permutation
+// sorted with slices.SortFunc (the reflection-based sort.Slice was the
+// hottest call in cold index builds). Ties break by row index, so equal
+// values list their rows in ascending order deterministically.
+func forNumericColumn(c *dataset.Column) *Index {
+	n := c.Len()
+	idx := &Index{ClusterOf: make([]int32, n), Numeric: true}
+	vals := make([]float64, n)
+	for i := 0; i < n; i++ {
+		vals[i] = c.Num(i)
+	}
+	order := make([]int32, n)
+	for i := range order {
+		order[i] = int32(i)
+	}
+	slices.SortFunc(order, func(a, b int32) int {
+		va, vb := vals[a], vals[b]
+		switch {
+		case va < vb:
+			return -1
+		case va > vb:
+			return 1
+		}
+		// Equal, or at least one NaN. NaNs order before every number
+		// (and by row among themselves) so the comparator stays a
+		// strict weak order — a naive tie-break here would interleave
+		// NaNs with numbers and split equal values across clusters.
+		if aNaN, bNaN := va != va, vb != vb; aNaN != bNaN {
+			if aNaN {
+				return -1
+			}
+			return 1
+		}
+		return int(a) - int(b)
+	})
+	// Rows with equal values are adjacent in order; carve the cluster
+	// membership lists out of one backing array.
+	buf := make([]int32, n)
+	copy(buf, order)
+	cluster := int32(-1)
+	start := 0
+	var prev float64
+	for k, row := range order {
+		if k == 0 || vals[row] != prev {
+			if k > 0 {
+				idx.Clusters[cluster] = buf[start:k:k]
+			}
+			cluster++
+			start = k
+			idx.Clusters = append(idx.Clusters, nil)
+			idx.NumKeys = append(idx.NumKeys, vals[row])
+			prev = vals[row]
+		}
+		idx.ClusterOf[row] = cluster
+	}
+	if n > 0 {
+		idx.Clusters[cluster] = buf[start:n:n]
+	}
+	idx.NumClusters = len(idx.Clusters)
+	return idx
+}
+
+// forStringColumn groups rows by dictionary code. Columns built by the
+// dataset constructors always carry codes in dense first-occurrence
+// order, so the common path is a counting sort over codes — no map, no
+// comparison sort; a column with arbitrary codes (hand-built) falls
+// back to the original map-based renumbering. Both paths produce the
+// same Index.
+func forStringColumn(c *dataset.Column) *Index {
+	n := c.Len()
+	codes := c.Codes
+	// Verify dense first-occurrence numbering in one pass: every code
+	// is either already seen (< next) or exactly the next fresh id.
+	next := int32(0)
+	for _, code := range codes {
+		if code == next {
+			next++
+		} else if code < 0 || code > next {
+			return stringIndexSlow(c)
+		}
+	}
+	numClusters := int(next)
+	idx := &Index{
+		ClusterOf:   make([]int32, n),
+		Clusters:    make([][]int32, numClusters),
+		NumClusters: numClusters,
+	}
+	copy(idx.ClusterOf, codes)
+	counts := make([]int32, numClusters)
+	for _, code := range codes {
+		counts[code]++
+	}
+	// Carve the membership lists out of one backing array; the fill
+	// below writes through buf by absolute index, so the full-length
+	// slices can be taken up front.
+	buf := make([]int32, n)
+	starts := make([]int32, numClusters)
+	off := int32(0)
+	for k, cnt := range counts {
+		starts[k] = off
+		idx.Clusters[k] = buf[off : off+cnt : off+cnt]
+		off += cnt
+	}
+	for i, code := range codes {
+		buf[starts[code]] = int32(i)
+		starts[code]++
+	}
+	// Codes are their own cluster ids: CodeCluster stays nil (identity)
+	// rather than materializing a map per cold build, which would give
+	// back the per-distinct map cost the counting sort just removed.
+	return idx
+}
+
+// LookupCode resolves a dictionary code to its cluster ID, honoring
+// the nil-means-identity convention of CodeCluster.
+func (idx *Index) LookupCode(code int32) (int32, bool) {
+	if idx.CodeCluster == nil {
+		if code >= 0 && int(code) < idx.NumClusters {
+			return code, true
+		}
+		return 0, false
+	}
+	id, ok := idx.CodeCluster[code]
+	return id, ok
+}
+
+// stringIndexSlow renumbers arbitrary dictionary codes densely in
+// first-appearance order (the historical path).
+func stringIndexSlow(c *dataset.Column) *Index {
+	n := c.Len()
+	idx := &Index{ClusterOf: make([]int32, n)}
 	remap := make(map[int32]int32)
 	for i := 0; i < n; i++ {
 		code := c.Codes[i]
@@ -82,6 +195,40 @@ func ForColumn(c *dataset.Column) *Index {
 	idx.NumClusters = len(idx.Clusters)
 	idx.CodeCluster = remap
 	return idx
+}
+
+// BuildIndexes builds the indexes of the given columns in parallel
+// (which nil means all columns; workers ≤ 0 means GOMAXPROCS). The
+// result is indexed by column position, nil for unrequested columns,
+// and identical to calling ForColumn per column: each index depends
+// only on its own column, so scheduling cannot affect the output.
+func BuildIndexes(cols []*dataset.Column, which []int, workers int) []*Index {
+	if which == nil {
+		which = make([]int, len(cols))
+		for i := range which {
+			which[i] = i
+		}
+	} else {
+		// Dedup so no column is built by two workers concurrently.
+		seen := make(map[int]bool, len(which))
+		uniq := which[:0:0]
+		for _, c := range which {
+			if c >= 0 && c < len(cols) && !seen[c] {
+				seen[c] = true
+				uniq = append(uniq, c)
+			}
+		}
+		which = uniq
+	}
+	out := make([]*Index, len(cols))
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	par.Do(workers, len(which), func(i int) {
+		c := which[i]
+		out[c] = ForColumn(cols[c])
+	})
+	return out
 }
 
 // MemBytes estimates the heap footprint of the index, for cache

@@ -70,6 +70,48 @@ func (s *Store) Index(col int) *Index {
 	return s.idx[col]
 }
 
+// Warm builds the indexes of the given columns (nil means all) in
+// parallel with up to workers goroutines (≤ 0 means GOMAXPROCS),
+// skipping columns already cached. Builds run outside the lock and are
+// published in one critical section; a racing Index call may build the
+// same column concurrently, in which case the first published index
+// wins and the duplicate work is discarded (both are identical, so
+// readers cannot observe a difference). Returns the number of indexes
+// this call published.
+func (s *Store) Warm(which []int, workers int) int {
+	s.mu.RLock()
+	missing := make([]int, 0, len(s.idx))
+	if which == nil {
+		for c, idx := range s.idx {
+			if idx == nil {
+				missing = append(missing, c)
+			}
+		}
+	} else {
+		for _, c := range which {
+			if c >= 0 && c < len(s.idx) && s.idx[c] == nil {
+				missing = append(missing, c)
+			}
+		}
+	}
+	s.mu.RUnlock()
+	if len(missing) == 0 {
+		return 0
+	}
+	built := BuildIndexes(s.cols, missing, workers)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	published := 0
+	for _, c := range missing {
+		if s.idx[c] == nil {
+			s.idx[c] = built[c]
+			s.misses.Add(1)
+			published++
+		}
+	}
+	return published
+}
+
 // Cached reports whether the column's index has been built.
 func (s *Store) Cached(col int) bool {
 	s.mu.RLock()
@@ -176,18 +218,30 @@ func extendIndex(idx *Index, c *dataset.Column, oldRows int) (*Index, bool) {
 		out.NumClusters = len(out.Clusters)
 		return out, true
 	}
-	codeCluster := idx.CodeCluster
-	copied := false
+	// codeCluster stays nil while every appended code resolves through
+	// the old index (LookupCode honors nil-means-identity); the first
+	// unseen code materializes a map seeded with the old mapping.
+	var codeCluster map[int32]int32
 	for r := oldRows; r < n; r++ {
 		code := c.Codes[r]
-		id, ok := codeCluster[code]
+		id, ok := int32(0), false
+		if codeCluster == nil {
+			id, ok = idx.LookupCode(code)
+		} else {
+			id, ok = codeCluster[code]
+		}
 		if !ok {
-			if !copied {
-				cc := make(map[int32]int32, len(codeCluster)+1)
-				for k, v := range codeCluster {
-					cc[k] = v
+			if codeCluster == nil {
+				codeCluster = make(map[int32]int32, idx.NumClusters+1)
+				if idx.CodeCluster == nil {
+					for k := int32(0); int(k) < idx.NumClusters; k++ {
+						codeCluster[k] = k
+					}
+				} else {
+					for k, v := range idx.CodeCluster {
+						codeCluster[k] = v
+					}
 				}
-				codeCluster, copied = cc, true
 			}
 			id = int32(len(out.Clusters))
 			codeCluster[code] = id
@@ -196,7 +250,11 @@ func extendIndex(idx *Index, c *dataset.Column, oldRows int) (*Index, bool) {
 		}
 		add(id, r)
 	}
-	out.CodeCluster = codeCluster
+	if codeCluster == nil {
+		out.CodeCluster = idx.CodeCluster // possibly nil: identity carries over
+	} else {
+		out.CodeCluster = codeCluster
+	}
 	out.NumClusters = len(out.Clusters)
 	return out, true
 }

@@ -21,8 +21,10 @@ import (
 	"encoding/json"
 	"fmt"
 	"math/rand"
+	"mime"
 	"net/http"
 	"runtime"
+	"strconv"
 	"strings"
 	"time"
 
@@ -59,6 +61,10 @@ type Config struct {
 	MaxMemBytes int64
 	// MaxBodyBytes caps request body size. 0 means the default of 64 MiB.
 	MaxBodyBytes int64
+	// Ingest tunes the streaming CSV reader used by dataset
+	// registration (worker count, chunk rows). The zero value uses the
+	// reader's defaults; the parsed relation is identical regardless.
+	Ingest adc.IngestOptions
 }
 
 func (c Config) withDefaults() Config {
@@ -254,6 +260,33 @@ func viewOf(sess *session) datasetView {
 }
 
 func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	// A text/csv body streams straight through the chunk-parallel
+	// reader — the request is parsed as it arrives, and the server
+	// never buffers the CSV (the JSON form below necessarily does,
+	// since the CSV rides inside a JSON string). Name and header come
+	// from query parameters: POST /datasets?name=tax&header=true.
+	if mt, _, err := mime.ParseMediaType(r.Header.Get("Content-Type")); err == nil && mt == "text/csv" {
+		name := r.URL.Query().Get("name")
+		if name == "" {
+			name = "csv"
+		}
+		header := true
+		if hv := r.URL.Query().Get("header"); hv != "" {
+			b, err := strconv.ParseBool(hv)
+			if err != nil {
+				writeErr(w, http.StatusBadRequest, "header=%q is not a boolean", hv)
+				return
+			}
+			header = b
+		}
+		rel, err := adc.ReadCSVOptions(r.Body, name, header, s.cfg.Ingest)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		s.registerDataset(w, name, rel, nil)
+		return
+	}
 	var req ingestRequest
 	if !decodeBody(w, r, &req) {
 		return
@@ -271,7 +304,7 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 			name = "csv"
 		}
 		var err error
-		rel, err = adc.ReadCSV(strings.NewReader(req.CSV), name, header)
+		rel, err = adc.ReadCSVOptions(strings.NewReader(req.CSV), name, header, s.cfg.Ingest)
 		if err != nil {
 			writeErr(w, http.StatusBadRequest, "%v", err)
 			return
@@ -310,6 +343,12 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "supply csv data or a generate spec")
 		return
 	}
+	s.registerDataset(w, name, rel, golden)
+}
+
+// registerDataset validates and registers a parsed relation, shared by
+// the streaming (text/csv) and JSON ingest forms.
+func (s *Server) registerDataset(w http.ResponseWriter, name string, rel *adc.Relation, golden []string) {
 	if rel.NumRows() < 2 {
 		writeErr(w, http.StatusBadRequest, "dataset needs at least 2 rows, got %d", rel.NumRows())
 		return

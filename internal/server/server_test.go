@@ -104,6 +104,82 @@ func TestIngestAndValidate(t *testing.T) {
 	}
 }
 
+// TestIngestStreamingCSV registers a dataset by streaming a text/csv
+// body — no JSON envelope, no server-side buffering of the CSV — and
+// checks it serves validates like a JSON-registered one.
+func TestIngestStreamingCSV(t *testing.T) {
+	_, ts := testServer(t, Config{})
+	c := ts.Client()
+
+	resp, err := c.Post(ts.URL+"/datasets?name=dirty", "text/csv", bytes.NewReader([]byte(dirtyCSV)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("streaming ingest: status %d", resp.StatusCode)
+	}
+	var view map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&view); err != nil {
+		t.Fatal(err)
+	}
+	if view["name"] != "dirty" || view["rows"].(float64) != 5 {
+		t.Fatalf("view = %v", view)
+	}
+	if view["mem_bytes"].(float64) <= 0 {
+		t.Fatalf("mem_bytes = %v, want > 0", view["mem_bytes"])
+	}
+	id := view["id"].(string)
+
+	code, vresp := call(t, c, "POST", ts.URL+"/datasets/"+id+"/validate",
+		map[string]any{"dcs": []string{zipStateDC}})
+	if code != http.StatusOK {
+		t.Fatalf("validate after streaming ingest: status %d: %v", code, vresp)
+	}
+	if v := vresp["violations"].(float64); v != 4 {
+		t.Errorf("violations = %v, want 4", v)
+	}
+
+	// header=0 (ParseBool spelling) names columns c0..; the media type
+	// match is case-insensitive per RFC 2045.
+	resp2, err := c.Post(ts.URL+"/datasets?name=raw&header=0", "Text/CSV; charset=utf-8",
+		bytes.NewReader([]byte("1,x\n2,y\n")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	if resp2.StatusCode != http.StatusCreated {
+		t.Fatalf("headerless streaming ingest: status %d", resp2.StatusCode)
+	}
+	var v2 map[string]any
+	if err := json.NewDecoder(resp2.Body).Decode(&v2); err != nil {
+		t.Fatal(err)
+	}
+	cols := v2["columns"].([]any)
+	if cols[0].(map[string]any)["name"] != "c0" {
+		t.Fatalf("columns = %v", cols)
+	}
+
+	resp3, err := c.Post(ts.URL+"/datasets", "text/csv", bytes.NewReader([]byte("a,b\n1,2\n3\n")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp3.Body.Close()
+	if resp3.StatusCode != http.StatusBadRequest {
+		t.Fatalf("ragged streaming ingest: status %d, want 400", resp3.StatusCode)
+	}
+
+	// A non-boolean header param is a 400, not a silent header=true.
+	resp4, err := c.Post(ts.URL+"/datasets?header=no", "text/csv", bytes.NewReader([]byte("a\n1\n2\n")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp4.Body.Close()
+	if resp4.StatusCode != http.StatusBadRequest {
+		t.Fatalf("header=no: status %d, want 400", resp4.StatusCode)
+	}
+}
+
 func TestValidateErrors(t *testing.T) {
 	_, ts := testServer(t, Config{})
 	c := ts.Client()

@@ -1,7 +1,7 @@
 package violation
 
 import (
-	"sort"
+	"slices"
 	"sync"
 	"sync/atomic"
 
@@ -162,7 +162,7 @@ func (c *Checker) checkOne(spec predicate.DCSpec, opts Options) (*DCResult, erro
 	// Each worker's retained pairs are its lexicographically smallest;
 	// sorting the merged retention and re-capping yields the globally
 	// smallest MaxPairs pairs (or all pairs when uncapped).
-	sort.Slice(col.pairs, func(a, b int) bool { return pairLess(col.pairs[a], col.pairs[b]) })
+	slices.SortFunc(col.pairs, pairCmp)
 	res := &DCResult{
 		Spec:        spec,
 		Violations:  col.violations,

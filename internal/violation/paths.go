@@ -35,6 +35,14 @@ func pairLess(a, b [2]int) bool {
 	return a[1] < b[1]
 }
 
+// pairCmp is pairLess as a three-way comparison for slices.SortFunc.
+func pairCmp(a, b [2]int) int {
+	if a[0] != b[0] {
+		return a[0] - b[0]
+	}
+	return a[1] - b[1]
+}
+
 func (c *collector) add(i, j int) {
 	c.violations++
 	c.counts[i]++

@@ -26,7 +26,7 @@ package violation
 import (
 	"container/heap"
 	"fmt"
-	"sort"
+	"slices"
 
 	"adc/internal/dataset"
 	"adc/internal/predicate"
@@ -149,11 +149,14 @@ func sortedTupleCounts(counts []int64) []TupleCount {
 			out = append(out, TupleCount{Tuple: t, Count: c})
 		}
 	}
-	sort.Slice(out, func(a, b int) bool {
-		if out[a].Count != out[b].Count {
-			return out[a].Count > out[b].Count
+	slices.SortFunc(out, func(a, b TupleCount) int {
+		if a.Count != b.Count {
+			if a.Count > b.Count {
+				return -1
+			}
+			return 1
 		}
-		return out[a].Tuple < out[b].Tuple
+		return a.Tuple - b.Tuple
 	})
 	return out
 }
@@ -371,7 +374,7 @@ func RepairReport(rel *dataset.Relation, rep *Report) (*RepairResult, error) {
 		deg[best] = 0
 		remove = append(remove, best)
 	}
-	sort.Ints(remove)
+	slices.Sort(remove)
 
 	removed := make(map[int]bool, len(remove))
 	for _, t := range remove {
