@@ -5,6 +5,8 @@
 //
 //	adcminer -input data.csv -approx f1 -eps 0.01
 //	adcminer -input data.csv -approx f3 -eps 0.1 -sample 0.3 -alpha 0.05
+//	adcminer -input data.csv -save-snapshot data.adcs   # persist parsed columns + indexes
+//	adcminer -load-snapshot data.adcs -eps 0.01         # re-mine without ingest
 package main
 
 import (
@@ -27,7 +29,9 @@ func main() {
 
 func run() int {
 	var (
-		input     = flag.String("input", "", "input CSV file (required)")
+		input     = flag.String("input", "", "input CSV file (required unless -load-snapshot)")
+		loadSnap  = flag.String("load-snapshot", "", "mine from a columnar snapshot instead of CSV (skips ingest and index builds)")
+		saveSnap  = flag.String("save-snapshot", "", "after mining, save the relation and built indexes to this snapshot file")
 		header    = flag.Bool("header", true, "first CSV record is the header")
 		fn        = flag.String("approx", "f1", "approximation function: f1, f2, or f3")
 		eps       = flag.Float64("eps", 0.01, "approximation threshold ε (0 mines valid DCs)")
@@ -47,9 +51,13 @@ func run() int {
 		memProf   = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
-	if *input == "" {
-		fmt.Fprintln(os.Stderr, "adcminer: -input is required")
+	if *input == "" && *loadSnap == "" {
+		fmt.Fprintln(os.Stderr, "adcminer: -input or -load-snapshot is required")
 		flag.Usage()
+		return 2
+	}
+	if *input != "" && *loadSnap != "" {
+		fmt.Fprintln(os.Stderr, "adcminer: -input and -load-snapshot are mutually exclusive")
 		return 2
 	}
 
@@ -82,13 +90,27 @@ func run() int {
 	}
 
 	ingestStart := time.Now()
-	rel, err := adc.ReadCSVFileOptions(*input, *header,
-		adc.IngestOptions{Workers: *ingestW, ChunkRows: *chunkRows})
+	var rel *adc.Relation
+	var indexes *adc.IndexStore
+	var err error
+	if *loadSnap != "" {
+		// Attach, not load: column data and any saved indexes alias the
+		// mapped file and page in on first touch.
+		rel, indexes, err = adc.AttachSnapshot(*loadSnap)
+	} else {
+		rel, err = adc.ReadCSVFileOptions(*input, *header,
+			adc.IngestOptions{Workers: *ingestW, ChunkRows: *chunkRows})
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "adcminer:", err)
 		return 1
 	}
 	ingestTime := time.Since(ingestStart)
+	if indexes == nil && *saveSnap != "" {
+		// Route the run's index builds through a store we can persist,
+		// so the snapshot captures them warm.
+		indexes = adc.NewChecker(rel).Indexes()
+	}
 	res, err := adc.Mine(rel, adc.Options{
 		Approx:         *fn,
 		Epsilon:        *eps,
@@ -99,10 +121,19 @@ func run() int {
 		Evidence:       *evid,
 		MaxPredicates:  *maxPreds,
 		Seed:           *seed,
+		Indexes:        indexes,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "adcminer:", err)
 		return 1
+	}
+	if *saveSnap != "" {
+		// Persist the relation plus whatever indexes the run built, so
+		// the next invocation starts warm via -load-snapshot.
+		if err := adc.SaveSnapshot(*saveSnap, rel, indexes); err != nil {
+			fmt.Fprintln(os.Stderr, "adcminer:", err)
+			return 1
+		}
 	}
 
 	dcs := res.DCs

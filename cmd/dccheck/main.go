@@ -12,6 +12,8 @@
 //	dccheck -input data.csv -dc "not(t.Zip = t'.Zip and t.State != t'.State)"
 //	dccheck -input data.csv -dcs constraints.txt -eps 0.01 -approx f1
 //	dccheck -input data.csv -mine -eps 0.001 -repair -json
+//	dccheck -input data.csv -dcs c.txt -save-snapshot data.adcs  # persist columns + PLIs
+//	dccheck -load-snapshot data.adcs -dcs c.txt                  # re-check without ingest
 //
 // Exit status: 0 when every constraint passes (no violations, or loss ≤
 // -eps when set), 1 when at least one fails, 2 on usage or data errors,
@@ -47,6 +49,8 @@ func (m *multiFlag) Set(s string) error {
 // config carries the parsed flags into the checking goroutine.
 type config struct {
 	input    string
+	loadSnap string
+	saveSnap string
 	header   bool
 	dcFlags  []string
 	dcsFile  string
@@ -68,7 +72,9 @@ type config struct {
 func main() {
 	var dcFlags multiFlag
 	var cfg config
-	flag.StringVar(&cfg.input, "input", "", "input CSV file (required)")
+	flag.StringVar(&cfg.input, "input", "", "input CSV file (required unless -load-snapshot)")
+	flag.StringVar(&cfg.loadSnap, "load-snapshot", "", "check a columnar snapshot instead of CSV (skips ingest; reuses saved indexes)")
+	flag.StringVar(&cfg.saveSnap, "save-snapshot", "", "after checking, save the relation and built indexes to this snapshot file")
 	flag.BoolVar(&cfg.header, "header", true, "first CSV record is the header")
 	flag.StringVar(&cfg.dcsFile, "dcs", "", "file of constraints, one per line (# comments)")
 	flag.BoolVar(&cfg.mine, "mine", false, "mine ADCs from the input and check those")
@@ -87,9 +93,13 @@ func main() {
 	flag.Var(&dcFlags, "dc", "constraint in paper notation (repeatable)")
 	flag.Parse()
 	cfg.dcFlags = dcFlags
-	if cfg.input == "" {
-		fmt.Fprintln(os.Stderr, "dccheck: -input is required")
+	if cfg.input == "" && cfg.loadSnap == "" {
+		fmt.Fprintln(os.Stderr, "dccheck: -input or -load-snapshot is required")
 		flag.Usage()
+		os.Exit(2)
+	}
+	if cfg.input != "" && cfg.loadSnap != "" {
+		fmt.Fprintln(os.Stderr, "dccheck: -input and -load-snapshot are mutually exclusive")
 		os.Exit(2)
 	}
 
@@ -139,12 +149,28 @@ func (s *syncWriter) Flush() {
 
 // run performs the whole check and returns the process exit code.
 func run(out io.Writer, cfg config) int {
-	rel, err := adc.ReadCSVFileOptions(cfg.input, cfg.header,
-		adc.IngestOptions{Workers: cfg.ingestW, ChunkRows: cfg.chunk})
-	if err != nil {
-		return fail(err)
+	var checker *adc.Checker
+	if cfg.loadSnap != "" {
+		// Attach, not load: columns and any saved indexes alias the
+		// mapped file, so a warm snapshot skips both ingest and PLI
+		// builds for the constraints it has seen before.
+		rel, idx, err := adc.AttachSnapshot(cfg.loadSnap)
+		if err != nil {
+			return fail(err)
+		}
+		if checker, err = adc.NewCheckerWithStore(rel, idx); err != nil {
+			return fail(err)
+		}
+	} else {
+		rel, err := adc.ReadCSVFileOptions(cfg.input, cfg.header,
+			adc.IngestOptions{Workers: cfg.ingestW, ChunkRows: cfg.chunk})
+		if err != nil {
+			return fail(err)
+		}
+		checker = adc.NewChecker(rel)
 	}
-	specs, err := gatherSpecs(rel, cfg)
+	rel := checker.Relation()
+	specs, err := gatherSpecs(rel, checker.Indexes(), cfg)
 	if err != nil {
 		return fail(err)
 	}
@@ -159,13 +185,20 @@ func run(out io.Writer, cfg config) int {
 	if cfg.repair {
 		opts.MaxPairs = 0
 	}
-	rep, err := adc.Violations(rel, specs, opts)
+	rep, err := checker.Check(specs, opts)
 	if err != nil {
 		return fail(err)
 	}
 	verdicts, err := rep.Validations(cfg.fn, cfg.eps)
 	if err != nil {
 		return fail(err)
+	}
+	if cfg.saveSnap != "" {
+		// Persist after the check so the snapshot captures the PLIs
+		// this run built; -load-snapshot then starts warm.
+		if err := adc.SaveSnapshot(cfg.saveSnap, rel, checker.Indexes()); err != nil {
+			return fail(err)
+		}
 	}
 	var rr *adc.RepairResult
 	if cfg.repair {
@@ -194,8 +227,10 @@ func fail(err error) int {
 	return 2
 }
 
-// gatherSpecs collects constraints from every configured source.
-func gatherSpecs(rel *adc.Relation, cfg config) ([]adc.DCSpec, error) {
+// gatherSpecs collects constraints from every configured source. The
+// index store is threaded into -mine so mining reuses — and warms, for
+// -save-snapshot — the same PLIs the check itself runs on.
+func gatherSpecs(rel *adc.Relation, idx *adc.IndexStore, cfg config) ([]adc.DCSpec, error) {
 	specs, err := adc.ParseDCSpecs(cfg.dcFlags)
 	if err != nil {
 		return nil, err
@@ -223,6 +258,7 @@ func gatherSpecs(rel *adc.Relation, cfg config) ([]adc.DCSpec, error) {
 			Epsilon:       cfg.eps,
 			MaxPredicates: cfg.maxPreds,
 			Seed:          cfg.seed,
+			Indexes:       idx,
 		})
 		if err != nil {
 			return nil, err

@@ -22,6 +22,13 @@
 // Usage:
 //
 //	dcserved -addr :8080 -max-datasets 64 -max-mem-mb 1024
+//	dcserved -data-dir /var/lib/dcserved   # persistent sessions
+//
+// With -data-dir, every registered session is snapshotted to disk in a
+// columnar format (and re-snapshotted after appends), LRU eviction
+// spills sessions to disk instead of discarding them, touched spilled
+// sessions restore by mmap attach — no CSV re-ingest, no index rebuild
+// — and a restarted server resumes every session the directory holds.
 //
 // SIGINT/SIGTERM triggers a graceful shutdown: in-flight requests get
 // -shutdown-grace to finish before the listener is torn down.
@@ -53,15 +60,21 @@ func main() {
 		pprofOn     = flag.Bool("pprof", false, "serve /debug/pprof/ profiling endpoints (do not expose publicly)")
 		ingWorkers  = flag.Int("ingest-workers", 0, "CSV ingest parse workers (0 = GOMAXPROCS)")
 		chunkRows   = flag.Int("chunk-rows", 0, "CSV ingest rows per parse chunk (0 = default)")
+		dataDir     = flag.String("data-dir", "", "persistent session storage directory: sessions snapshot here, evictions spill to disk, restarts resume (empty = in-memory only)")
 	)
 	flag.Parse()
 
-	srv := server.New(server.Config{
+	srv, err := server.New(server.Config{
 		MaxDatasets:  *maxDatasets,
 		MaxMemBytes:  *maxMemMB << 20,
 		MaxBodyBytes: *maxBodyMB << 20,
 		Ingest:       adc.IngestOptions{Workers: *ingWorkers, ChunkRows: *chunkRows},
+		DataDir:      *dataDir,
 	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dcserved:", err)
+		os.Exit(1)
+	}
 	handler := srv.Handler()
 	if *pprofOn {
 		// Opt-in profiling mux in front of the API, so perf work can

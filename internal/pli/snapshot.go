@@ -1,0 +1,39 @@
+package pli
+
+// Snapshot hooks for the on-disk columnar store (internal/colstore):
+// a Store serializes as the slice of indexes it has built so far, and
+// restores by publishing pre-built indexes into a fresh store, so a
+// session re-attached from disk serves PLI-path checks without
+// rebuilding a single index.
+
+import (
+	"fmt"
+
+	"adc/internal/dataset"
+)
+
+// Snapshot returns the cached per-column indexes, positionally aligned
+// with the store's columns; nil entries are columns whose index has not
+// been built. The returned slice is a copy, but the indexes themselves
+// are the store's immutable cached values.
+func (s *Store) Snapshot() []*Index {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return append([]*Index(nil), s.idx...)
+}
+
+// RestoreStore builds a store over the columns with the given indexes
+// pre-published (idx is positional; nil entries stay lazily built).
+// It validates the positional shape — row counts are the caller's
+// responsibility (colstore checks them against the relation header).
+func RestoreStore(cols []*dataset.Column, idx []*Index) (*Store, error) {
+	s := NewStore(cols)
+	if idx == nil {
+		return s, nil
+	}
+	if len(idx) != len(cols) {
+		return nil, fmt.Errorf("pli: restoring %d indexes over %d columns", len(idx), len(cols))
+	}
+	copy(s.idx, idx)
+	return s, nil
+}

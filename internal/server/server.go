@@ -65,6 +65,14 @@ type Config struct {
 	// registration (worker count, chunk rows). The zero value uses the
 	// reader's defaults; the parsed relation is identical regardless.
 	Ingest adc.IngestOptions
+	// DataDir, when set, turns on the persistent storage tier: every
+	// session is snapshotted there (columnar format, see
+	// internal/colstore) at registration and after appends, LRU
+	// eviction spills sessions to disk instead of discarding them, a
+	// touched spilled session restores by mmap attach without CSV
+	// re-ingest or index rebuilds, and a restarted server resumes every
+	// session the directory holds. Empty disables persistence.
+	DataDir string
 }
 
 func (c Config) withDefaults() Config {
@@ -91,12 +99,17 @@ type Server struct {
 	started time.Time
 }
 
-// New builds a Server with the given configuration.
-func New(cfg Config) *Server {
+// New builds a Server with the given configuration. It errors only
+// when Config.DataDir is set and cannot be created.
+func New(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
+	store, err := newStorage(cfg.DataDir)
+	if err != nil {
+		return nil, fmt.Errorf("server: data dir: %w", err)
+	}
 	s := &Server{
 		cfg:     cfg,
-		reg:     newRegistry(cfg.MaxDatasets, cfg.MaxMemBytes),
+		reg:     newRegistry(cfg.MaxDatasets, cfg.MaxMemBytes, store),
 		jobs:    newJobStore(),
 		met:     newMetrics(),
 		mux:     http.NewServeMux(),
@@ -114,7 +127,7 @@ func New(cfg Config) *Server {
 	s.handle("GET /jobs/{id}", s.handleJob)
 	s.handle("GET /healthz", s.handleHealthz)
 	s.handle("GET /metrics", s.handleMetrics)
-	return s
+	return s, nil
 }
 
 // Handler returns the HTTP handler serving the API.
@@ -236,6 +249,9 @@ type datasetView struct {
 	Appends       int64        `json:"appends"`
 	Created       string       `json:"created"`
 	Evicted       []string     `json:"evicted,omitempty"`
+	// Spilled marks a session living only on disk: it restores
+	// transparently (mmap attach, no re-ingest) on first touch.
+	Spilled bool `json:"spilled,omitempty"`
 }
 
 func viewOf(sess *session) datasetView {
@@ -365,6 +381,7 @@ func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
 	for _, sess := range sessions {
 		out = append(out, viewOf(sess))
 	}
+	out = append(out, s.reg.spilledViews()...)
 	writeJSON(w, http.StatusOK, map[string]any{"datasets": out})
 }
 
@@ -420,6 +437,7 @@ func (s *Server) handleAppend(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	s.reg.save(sess)           // append-quiesce: re-snapshot the grown relation
 	evicted := s.reg.enforce() // the session grew; re-apply the memory cap
 	writeJSON(w, http.StatusOK, map[string]any{
 		"rows":            rows,
@@ -724,6 +742,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 			"evictions": evictions,
 		},
 		"evidence":    evidence,
+		"storage":     s.reg.storageStats(),
 		"jobs_active": s.jobs.running(),
 	})
 }

@@ -139,6 +139,10 @@ func (s *session) memBytes() int64 {
 
 // registry is the RWMutex'd session store: id lookup plus an LRU list
 // for eviction under the configured session-count and memory caps.
+// With a storage tier attached, eviction spills sessions to disk
+// (spilled map) instead of discarding them, and get restores spilled
+// sessions transparently; spilled sessions count toward neither cap —
+// their footprint is disk, not heap.
 type registry struct {
 	mu          sync.RWMutex
 	byID        map[string]*session
@@ -147,13 +151,33 @@ type registry struct {
 	maxSessions int
 	maxBytes    int64
 	evictions   int64
+
+	store   *storage               // nil: no persistence
+	spilled map[string]*spillEntry // sessions living only on disk
 }
 
-func newRegistry(maxSessions int, maxBytes int64) *registry {
-	return &registry{byID: make(map[string]*session), maxSessions: maxSessions, maxBytes: maxBytes}
+func newRegistry(maxSessions int, maxBytes int64, store *storage) *registry {
+	r := &registry{
+		byID:        make(map[string]*session),
+		maxSessions: maxSessions,
+		maxBytes:    maxBytes,
+		store:       store,
+	}
+	// A restarted server resumes every session its data directory
+	// holds: each snapshot becomes a spilled entry restored on first
+	// touch, and the id sequence continues past the highest persisted
+	// session, so new registrations never collide with restored ones.
+	r.spilled, r.nextID = store.scan()
+	if r.spilled == nil {
+		r.spilled = make(map[string]*spillEntry)
+	}
+	return r
 }
 
-// add registers a session under a fresh id and evicts as needed.
+// add registers a session under a fresh id and evicts as needed. With
+// storage attached, the new session is snapshotted immediately (before
+// any index is built — the spill and append paths re-save with warm
+// indexes), so a crash right after registration still restores it.
 func (r *registry) add(name string, rel *adc.Relation, golden []string) (*session, []string) {
 	r.mu.Lock()
 	r.nextID++
@@ -163,19 +187,38 @@ func (r *registry) add(name string, rel *adc.Relation, golden []string) (*sessio
 	r.order = append(r.order, id)
 	evicted := r.enforceLocked()
 	r.mu.Unlock()
+	r.store.save(s) //nolint:errcheck // best-effort; counted in storage stats
 	return s, evicted
 }
 
-// get returns the session and marks it most recently used.
+// get returns the session and marks it most recently used, restoring
+// it from its snapshot first if it was spilled to disk.
 func (r *registry) get(id string) *session {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	s := r.byID[id]
 	if s == nil {
-		return nil
+		if _, ok := r.spilled[id]; !ok || r.store == nil {
+			return nil
+		}
+		restored, err := r.store.restore(id)
+		if err != nil {
+			return nil
+		}
+		delete(r.spilled, id)
+		r.byID[id] = restored
+		r.order = append(r.order, id)
+		r.enforceLocked() // restoring may push another session out
+		return restored
 	}
 	r.touchLocked(id)
 	return s
+}
+
+// save re-snapshots a session (the append-quiesce path: the relation
+// grew, so the on-disk copy is stale).
+func (r *registry) save(s *session) {
+	r.store.save(s) //nolint:errcheck // best-effort; counted in storage stats
 }
 
 func (r *registry) touchLocked(id string) {
@@ -187,12 +230,18 @@ func (r *registry) touchLocked(id string) {
 	}
 }
 
-// remove deletes a session; reports whether it existed.
+// remove deletes a session — live or spilled — and its snapshot file;
+// reports whether it existed.
 func (r *registry) remove(id string) bool {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if _, ok := r.byID[id]; !ok {
-		return false
+		if _, spilled := r.spilled[id]; !spilled {
+			return false
+		}
+		delete(r.spilled, id)
+		r.store.remove(id)
+		return true
 	}
 	delete(r.byID, id)
 	for k, v := range r.order {
@@ -201,6 +250,7 @@ func (r *registry) remove(id string) bool {
 			break
 		}
 	}
+	r.store.remove(id)
 	return true
 }
 
@@ -225,7 +275,12 @@ func (r *registry) enforce() []string {
 // enforceLocked evicts least-recently-used sessions while over the
 // session-count or memory cap. The most recently used session always
 // survives, even if it alone exceeds the memory cap — a server that
-// evicts its only dataset can serve nothing.
+// evicts its only dataset can serve nothing. With storage attached,
+// the victim is snapshotted first — capturing every index built since
+// the last save — and parked in the spilled map, so eviction demotes
+// the session to disk instead of destroying it; it restores on next
+// touch without re-ingest or re-indexing. Only if the save fails does
+// eviction fall back to discarding (the pre-storage behavior).
 func (r *registry) enforceLocked() []string {
 	var evicted []string
 	for len(r.order) > 1 {
@@ -241,12 +296,51 @@ func (r *registry) enforceLocked() []string {
 			break
 		}
 		victim := r.order[0]
+		s := r.byID[victim]
 		r.order = r.order[1:]
 		delete(r.byID, victim)
 		r.evictions++
 		evicted = append(evicted, victim)
+		if r.store != nil && s != nil {
+			if err := r.store.save(s); err == nil {
+				checker, _ := s.state()
+				s.mu.RLock()
+				appends := s.appends
+				s.mu.RUnlock()
+				r.spilled[victim] = &spillEntry{
+					name:    s.name,
+					rows:    checker.Relation().NumRows(),
+					columns: checker.Relation().NumColumns(),
+					golden:  s.golden,
+					created: s.created.UTC().Format(time.RFC3339Nano),
+					appends: appends,
+				}
+				r.store.mu.Lock()
+				r.store.spills++
+				r.store.mu.Unlock()
+			}
+		}
 	}
 	return evicted
+}
+
+// spilledViews lists the on-disk sessions for GET /datasets.
+func (r *registry) spilledViews() []datasetView {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]datasetView, 0, len(r.spilled))
+	for id, e := range r.spilled {
+		out = append(out, spillView(id, e))
+	}
+	return out
+}
+
+// storageStats summarizes the persistent tier (zero value when none).
+func (r *registry) storageStats() storageStats {
+	r.mu.RLock()
+	spilled := len(r.spilled)
+	r.mu.RUnlock()
+	return r.store.stats(spilled)
 }
 
 // stats aggregates registry-wide cache statistics for /metrics.

@@ -1,0 +1,253 @@
+package server
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"sync"
+	"time"
+
+	"adc"
+	"adc/internal/colstore"
+	"adc/internal/pli"
+)
+
+// storage is the persistent tier behind a data directory: every
+// registered session is snapshotted to <dir>/<id>.adcs (atomically, via
+// colstore.WriteFile) at registration and after each append, eviction
+// spills to disk instead of discarding, and get() restores spilled
+// sessions by mmap-attaching their snapshot — no CSV re-ingest, no PLI
+// rebuild. A restarted server scans the directory and resumes every
+// session it finds. nil *storage (no -data-dir) disables the tier;
+// every method no-ops.
+type storage struct {
+	dir string
+
+	mu          sync.Mutex
+	written     int64 // snapshots written (register, append, spill)
+	loaded      int64 // snapshots restored into live sessions
+	spills      int64 // evictions that went to disk instead of the void
+	writeErrors int64 // failed best-effort snapshot writes
+	restoreHist *histogram
+}
+
+func newStorage(dir string) (*storage, error) {
+	if dir == "" {
+		return nil, nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	return &storage{dir: dir, restoreHist: newHistogram()}, nil
+}
+
+func (st *storage) path(id string) string {
+	return filepath.Join(st.dir, id+".adcs")
+}
+
+// save snapshots a session's current state — relation, every PLI built
+// so far, and the registry metadata needed to restore the entry.
+// Best-effort: a failure is counted, not fatal, since the in-memory
+// session stays authoritative.
+func (st *storage) save(sess *session) error {
+	if st == nil {
+		return nil
+	}
+	checker, _ := sess.state()
+	sess.mu.RLock()
+	appends := sess.appends
+	sess.mu.RUnlock()
+	snap := &colstore.Snapshot{
+		Relation: checker.Relation(),
+		Indexes:  checker.Indexes().Snapshot(),
+		Meta: colstore.Meta{
+			Name:    sess.name,
+			Golden:  sess.golden,
+			Appends: appends,
+			Created: sess.created.UTC().Format(time.RFC3339Nano),
+		},
+	}
+	err := colstore.WriteFile(st.path(sess.id), snap)
+	st.mu.Lock()
+	if err != nil {
+		st.writeErrors++
+	} else {
+		st.written++
+	}
+	st.mu.Unlock()
+	return err
+}
+
+// restore revives a spilled session from its snapshot: the file is
+// mmap-attached (column data and indexes page in on first touch), the
+// index store is restored with every PLI the snapshot carries, and the
+// checker adopts it. The mapping stays open for the life of the
+// process — it is read-only and clean, so its pages cost address
+// space, not RAM, and the OS reclaims them under pressure.
+func (st *storage) restore(id string) (*session, error) {
+	start := time.Now()
+	snap, err := colstore.Attach(st.path(id))
+	if err != nil {
+		return nil, err
+	}
+	store, err := pli.RestoreStore(snap.Relation.Columns, snap.Indexes)
+	if err != nil {
+		snap.Close() //nolint:errcheck // the restore error wins
+		return nil, err
+	}
+	checker, err := adc.NewCheckerWithStore(snap.Relation, store)
+	if err != nil {
+		snap.Close() //nolint:errcheck // the restore error wins
+		return nil, err
+	}
+	created, err := time.Parse(time.RFC3339Nano, snap.Meta.Created)
+	if err != nil {
+		created = time.Now()
+	}
+	sess := &session{
+		id:      id,
+		name:    snap.Meta.Name,
+		created: created,
+		golden:  snap.Meta.Golden,
+		checker: checker,
+		mine:    adc.NewMineCache(),
+		appends: snap.Meta.Appends,
+		evHist:  newHistogram(),
+	}
+	st.mu.Lock()
+	st.loaded++
+	st.restoreHist.observe(time.Since(start))
+	st.mu.Unlock()
+	return sess, nil
+}
+
+// remove deletes a session's snapshot file (DELETE /datasets/{id}).
+func (st *storage) remove(id string) {
+	if st == nil {
+		return
+	}
+	os.Remove(st.path(id)) //nolint:errcheck // already gone is fine
+}
+
+// spillEntry is a session living only on disk: enough registry state to
+// list it and to restore it on demand.
+type spillEntry struct {
+	name    string
+	rows    int
+	columns int
+	golden  []string
+	created string
+	appends int64
+}
+
+var snapshotName = regexp.MustCompile(`^(ds-(\d+))\.adcs$`)
+
+// scan lists the data directory's snapshots as spill entries keyed by
+// session id, and returns the highest session number seen, so a
+// restarted server resumes its id sequence past every persisted
+// session. Unreadable or corrupt snapshots are skipped — a torn file
+// must not prevent startup.
+func (st *storage) scan() (map[string]*spillEntry, int) {
+	if st == nil {
+		return nil, 0
+	}
+	entries, err := os.ReadDir(st.dir)
+	if err != nil {
+		return nil, 0
+	}
+	spilled := make(map[string]*spillEntry)
+	maxID := 0
+	for _, e := range entries {
+		m := snapshotName.FindStringSubmatch(e.Name())
+		if m == nil {
+			continue
+		}
+		info, err := colstore.ReadMeta(filepath.Join(st.dir, e.Name()))
+		if err != nil {
+			continue
+		}
+		id := m[1]
+		spilled[id] = &spillEntry{
+			name:    info.Meta.Name,
+			rows:    info.Rows,
+			columns: info.Columns,
+			golden:  info.Meta.Golden,
+			created: info.Meta.Created,
+			appends: info.Meta.Appends,
+		}
+		if n, err := strconv.Atoi(m[2]); err == nil && n > maxID {
+			maxID = n
+		}
+	}
+	return spilled, maxID
+}
+
+// storageStats is the exported storage summary for /metrics.
+type storageStats struct {
+	Enabled          bool    `json:"enabled"`
+	SnapshotsWritten int64   `json:"snapshots_written"`
+	SnapshotsLoaded  int64   `json:"snapshots_loaded"`
+	Spills           int64   `json:"spills"`
+	WriteErrors      int64   `json:"write_errors,omitempty"`
+	SpilledSessions  int     `json:"spilled_sessions"`
+	BytesOnDisk      int64   `json:"bytes_on_disk"`
+	Restores         int64   `json:"restores"`
+	RestoreMeanUS    float64 `json:"restore_mean_us"`
+	RestoreP50US     float64 `json:"restore_p50_us"`
+	RestoreP99US     float64 `json:"restore_p99_us"`
+}
+
+// stats summarizes the tier: counters, restore latency quantiles, and
+// the bytes currently on disk (walked live, so external cleanup shows
+// up immediately).
+func (st *storage) stats(spilledSessions int) storageStats {
+	if st == nil {
+		return storageStats{}
+	}
+	var bytes int64
+	if entries, err := os.ReadDir(st.dir); err == nil {
+		for _, e := range entries {
+			if snapshotName.MatchString(e.Name()) {
+				if info, err := e.Info(); err == nil {
+					bytes += info.Size()
+				}
+			}
+		}
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return storageStats{
+		Enabled:          true,
+		SnapshotsWritten: st.written,
+		SnapshotsLoaded:  st.loaded,
+		Spills:           st.spills,
+		WriteErrors:      st.writeErrors,
+		SpilledSessions:  spilledSessions,
+		BytesOnDisk:      bytes,
+		Restores:         st.restoreHist.count,
+		RestoreMeanUS:    float64(st.restoreHist.mean()) / float64(time.Microsecond),
+		RestoreP50US:     float64(st.restoreHist.quantile(0.50)) / float64(time.Microsecond),
+		RestoreP99US:     float64(st.restoreHist.quantile(0.99)) / float64(time.Microsecond),
+	}
+}
+
+// spillView renders a spilled session for GET /datasets: present, on
+// disk, restored transparently on first touch.
+func spillView(id string, e *spillEntry) datasetView {
+	return datasetView{
+		ID:        id,
+		Name:      e.name,
+		Rows:      e.rows,
+		GoldenDCs: e.golden,
+		Appends:   e.appends,
+		Created:   e.created,
+		Spilled:   true,
+	}
+}
+
+// String implements fmt.Stringer for debugging.
+func (e *spillEntry) String() string {
+	return fmt.Sprintf("%s (%d rows, %d cols, %d appends)", e.name, e.rows, e.columns, e.appends)
+}

@@ -1,0 +1,258 @@
+package server
+
+import (
+	"net/http"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// validateViolations runs a zip→state validate and returns the
+// violation count, failing the test on any HTTP error.
+func validateViolations(t testing.TB, client *http.Client, base, id string) float64 {
+	t.Helper()
+	code, resp := call(t, client, "POST", base+"/datasets/"+id+"/validate",
+		map[string]any{"dcs": []string{zipStateDC}})
+	if code != http.StatusOK {
+		t.Fatalf("validate %s: status %d: %v", id, code, resp)
+	}
+	return resp["violations"].(float64)
+}
+
+func storageMetrics(t testing.TB, client *http.Client, base string) map[string]any {
+	t.Helper()
+	code, resp := call(t, client, "GET", base+"/metrics", nil)
+	if code != http.StatusOK {
+		t.Fatalf("metrics: status %d", code)
+	}
+	st, ok := resp["storage"].(map[string]any)
+	if !ok {
+		t.Fatalf("metrics has no storage block: %v", resp)
+	}
+	return st
+}
+
+// TestStorageSnapshotOnRegister pins the write-on-register contract: a
+// data-dir server persists each session at registration time.
+func TestStorageSnapshotOnRegister(t *testing.T) {
+	dir := t.TempDir()
+	_, ts := testServer(t, Config{DataDir: dir})
+	c := ts.Client()
+	id := ingestCSV(t, c, ts.URL, dirtyCSV)
+
+	if _, err := os.Stat(filepath.Join(dir, id+".adcs")); err != nil {
+		t.Fatalf("no snapshot after register: %v", err)
+	}
+	st := storageMetrics(t, c, ts.URL)
+	if st["enabled"] != true {
+		t.Errorf("storage not enabled: %v", st)
+	}
+	if st["snapshots_written"].(float64) < 1 {
+		t.Errorf("snapshots_written = %v, want >= 1", st["snapshots_written"])
+	}
+	if st["bytes_on_disk"].(float64) <= 0 {
+		t.Errorf("bytes_on_disk = %v, want > 0", st["bytes_on_disk"])
+	}
+}
+
+// TestStorageSpillAndRestore drives the spill-on-evict path: a second
+// registration under MaxDatasets=1 spills the first session to disk,
+// the listing shows it as spilled, and touching it restores it — same
+// verdicts, no re-ingest — with the restore surfacing in /metrics.
+func TestStorageSpillAndRestore(t *testing.T) {
+	dir := t.TempDir()
+	_, ts := testServer(t, Config{DataDir: dir, MaxDatasets: 1})
+	c := ts.Client()
+
+	first := ingestCSV(t, c, ts.URL, dirtyCSV)
+	wantViolations := validateViolations(t, c, ts.URL, first) // also warms the PLIs the spill captures
+	second := ingestCSV(t, c, ts.URL, dirtyCSV)
+
+	// The first session is now on disk, not gone.
+	code, resp := call(t, c, "GET", ts.URL+"/datasets", nil)
+	if code != http.StatusOK {
+		t.Fatalf("list: status %d", code)
+	}
+	var sawSpilled, sawLive bool
+	for _, v := range resp["datasets"].([]any) {
+		d := v.(map[string]any)
+		switch d["id"] {
+		case first:
+			sawSpilled = d["spilled"] == true
+		case second:
+			sawLive = d["spilled"] == nil
+		}
+	}
+	if !sawSpilled || !sawLive {
+		t.Fatalf("list after spill: spilled=%v live=%v: %v", sawSpilled, sawLive, resp)
+	}
+	st := storageMetrics(t, c, ts.URL)
+	if st["spills"].(float64) < 1 || st["spilled_sessions"].(float64) < 1 {
+		t.Fatalf("spill counters: %v", st)
+	}
+
+	// Touching the spilled session restores it transparently.
+	if got := validateViolations(t, c, ts.URL, first); got != wantViolations {
+		t.Errorf("restored session: violations = %v, want %v", got, wantViolations)
+	}
+	st = storageMetrics(t, c, ts.URL)
+	if st["snapshots_loaded"].(float64) < 1 || st["restores"].(float64) < 1 {
+		t.Errorf("restore counters: %v", st)
+	}
+	if st["restore_p50_us"].(float64) <= 0 || st["restore_p99_us"].(float64) <= 0 {
+		t.Errorf("restore latency quantiles missing: %v", st)
+	}
+}
+
+// TestStorageRestartResume is the kill-and-restart e2e: a fresh Server
+// over the same data directory resumes the old server's sessions —
+// same ids, same data including appended rows, no CSV re-ingest — and
+// continues the id sequence past them.
+func TestStorageRestartResume(t *testing.T) {
+	dir := t.TempDir()
+	_, ts := testServer(t, Config{DataDir: dir})
+	c := ts.Client()
+	id := ingestCSV(t, c, ts.URL, dirtyCSV)
+	wantViolations := validateViolations(t, c, ts.URL, id)
+	// Append one more conflicting row; the snapshot must requiesce.
+	code, _ := call(t, c, "POST", ts.URL+"/datasets/"+id+"/rows",
+		map[string]any{"rows": [][]string{{"10001", "TX", "90"}}})
+	if code != http.StatusOK {
+		t.Fatalf("append: status %d", code)
+	}
+	grownViolations := validateViolations(t, c, ts.URL, id)
+	if grownViolations <= wantViolations {
+		t.Fatalf("appended row added no violations (%v -> %v)", wantViolations, grownViolations)
+	}
+	ts.Close() // kill
+
+	// Restart on the same directory.
+	_, ts2 := testServer(t, Config{DataDir: dir})
+	c2 := ts2.Client()
+	code, resp := call(t, c2, "GET", ts2.URL+"/datasets", nil)
+	if code != http.StatusOK {
+		t.Fatalf("list after restart: status %d", code)
+	}
+	ds := resp["datasets"].([]any)
+	if len(ds) != 1 {
+		t.Fatalf("restarted server lists %d datasets, want 1: %v", len(ds), resp)
+	}
+	view := ds[0].(map[string]any)
+	if view["id"] != id || view["spilled"] != true {
+		t.Fatalf("restored listing = %v", view)
+	}
+	if view["rows"].(float64) != 6 {
+		t.Errorf("restored rows = %v, want 6 (append persisted)", view["rows"])
+	}
+	if view["appends"].(float64) != 1 {
+		t.Errorf("restored appends = %v, want 1", view["appends"])
+	}
+
+	// Serving from the snapshot must reproduce the pre-restart verdict.
+	if got := validateViolations(t, c2, ts2.URL, id); got != grownViolations {
+		t.Errorf("after restart: violations = %v, want %v", got, grownViolations)
+	}
+	st := storageMetrics(t, c2, ts2.URL)
+	if st["snapshots_loaded"].(float64) < 1 {
+		t.Errorf("restart restore not counted: %v", st)
+	}
+
+	// The id sequence resumes past restored sessions: no collision.
+	next := ingestCSV(t, c2, ts2.URL, dirtyCSV)
+	if next == id {
+		t.Fatalf("restarted server reissued id %q", id)
+	}
+}
+
+// TestStorageDelete removes both live and spilled sessions together
+// with their snapshot files.
+func TestStorageDelete(t *testing.T) {
+	dir := t.TempDir()
+	_, ts := testServer(t, Config{DataDir: dir})
+	c := ts.Client()
+	id := ingestCSV(t, c, ts.URL, dirtyCSV)
+	path := filepath.Join(dir, id+".adcs")
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("snapshot missing before delete: %v", err)
+	}
+	if code, _ := call(t, c, "DELETE", ts.URL+"/datasets/"+id, nil); code != http.StatusOK {
+		t.Fatalf("delete: status %d", code)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatalf("snapshot survives delete: %v", err)
+	}
+	ts.Close()
+
+	// Deleting a spilled (restored-from-disk, untouched) session also
+	// removes its file.
+	_, ts2 := testServer(t, Config{DataDir: dir})
+	c2 := ts2.Client()
+	id2 := ingestCSV(t, c2, ts2.URL, dirtyCSV)
+	ts2.Close()
+	_, ts3 := testServer(t, Config{DataDir: dir})
+	c3 := ts3.Client()
+	if code, _ := call(t, c3, "DELETE", ts3.URL+"/datasets/"+id2, nil); code != http.StatusOK {
+		t.Fatalf("delete spilled: status %d", code)
+	}
+	if _, err := os.Stat(filepath.Join(dir, id2+".adcs")); !os.IsNotExist(err) {
+		t.Fatalf("spilled snapshot survives delete: %v", err)
+	}
+	if code, _ := call(t, c3, "POST", ts3.URL+"/datasets/"+id2+"/validate",
+		map[string]any{"dcs": []string{zipStateDC}}); code != http.StatusNotFound {
+		t.Fatalf("deleted spilled session still serves: status %d", code)
+	}
+}
+
+// TestStorageRestoreKeepsWarmIndexes pins the no-rebuild guarantee:
+// a session whose PLIs were built before the spill restores with those
+// indexes already cached.
+func TestStorageRestoreKeepsWarmIndexes(t *testing.T) {
+	dir := t.TempDir()
+	srv, ts := testServer(t, Config{DataDir: dir, MaxDatasets: 1})
+	c := ts.Client()
+
+	first := ingestCSV(t, c, ts.URL, dirtyCSV)
+	validateViolations(t, c, ts.URL, first) // builds Zip and State PLIs
+	warm := srv.reg.get(first)
+	checker, _ := warm.state()
+	built := checker.CachedIndexes()
+	if built == 0 {
+		t.Fatalf("validate built no indexes")
+	}
+	ingestCSV(t, c, ts.URL, dirtyCSV) // spills first
+
+	restored := srv.reg.get(first) // restore via the registry, pre-request
+	if restored == nil {
+		t.Fatalf("spilled session did not restore")
+	}
+	rc, _ := restored.state()
+	if got := rc.CachedIndexes(); got != built {
+		t.Errorf("restored session has %d cached indexes, want %d (rebuild-free restore)", got, built)
+	}
+}
+
+// TestSessionMemCountsIndexBytes is the memory-accounting regression
+// test: a session's memBytes must include the PLI store, so index
+// growth is visible to the LRU memory cap.
+func TestSessionMemCountsIndexBytes(t *testing.T) {
+	dir := t.TempDir()
+	srv, ts := testServer(t, Config{DataDir: dir})
+	c := ts.Client()
+	id := ingestCSV(t, c, ts.URL, dirtyCSV)
+	sess := srv.reg.get(id)
+	cold := sess.memBytes()
+	validateViolations(t, c, ts.URL, id) // builds PLIs and a plan
+	checker, _ := sess.state()
+	if checker.CachedIndexes() == 0 {
+		t.Fatalf("validate built no indexes")
+	}
+	warm := sess.memBytes()
+	if warm <= cold {
+		t.Fatalf("memBytes ignores index bytes: cold %d, warm %d", cold, warm)
+	}
+	// The gap must be at least the index store's own estimate.
+	if warm-cold < checker.Indexes().MemBytes() {
+		t.Errorf("memBytes gap %d is smaller than the index store's %d bytes",
+			warm-cold, checker.Indexes().MemBytes())
+	}
+}

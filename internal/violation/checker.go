@@ -1,6 +1,7 @@
 package violation
 
 import (
+	"errors"
 	"slices"
 	"sync"
 	"sync/atomic"
@@ -50,6 +51,21 @@ type dcPlan struct {
 // NewChecker creates a Checker over the relation with empty caches.
 func NewChecker(rel *dataset.Relation) *Checker {
 	return &Checker{cache: newPLICache(rel), plans: make(map[string]*dcPlan)}
+}
+
+// NewCheckerWithStore creates a Checker over the relation that adopts
+// an existing per-column index store instead of starting cold — the
+// restore path of snapshot loading, where the PLIs were deserialized
+// alongside the relation and a warm re-attach must not rebuild them.
+// The store must cover exactly the relation's columns.
+func NewCheckerWithStore(rel *dataset.Relation, store *pli.Store) (*Checker, error) {
+	if store == nil {
+		return NewChecker(rel), nil
+	}
+	if !store.Covers(rel.Columns) {
+		return nil, errors.New("violation: index store does not cover the relation's columns")
+	}
+	return &Checker{cache: &pliCache{rel: rel, store: store}, plans: make(map[string]*dcPlan)}, nil
 }
 
 // Relation returns the relation the Checker is bound to.

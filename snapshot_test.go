@@ -1,0 +1,135 @@
+package adc_test
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"adc"
+	"adc/internal/datagen"
+)
+
+// snapshotRel round-trips a golden case's relation through a snapshot
+// file and mines from the reloaded copy.
+func mineFromSnapshot(t *testing.T, c goldenCase, attach bool) []string {
+	t.Helper()
+	d, err := datagen.ByName(c.dataset, c.rows, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checker := adc.NewChecker(d.Rel)
+	checker.Indexes().Warm(nil, 0)
+	path := filepath.Join(t.TempDir(), c.dataset+".adcs")
+	if err := adc.SaveSnapshot(path, d.Rel, checker.Indexes()); err != nil {
+		t.Fatal(err)
+	}
+	var rel *adc.Relation
+	var idx *adc.IndexStore
+	if attach {
+		rel, idx, err = adc.AttachSnapshot(path)
+	} else {
+		rel, idx, err = adc.LoadSnapshot(path)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := c.opts
+	opts.Workers = 1
+	opts.Indexes = idx
+	res, err := adc.Mine(rel, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	adc.SortDCs(res.DCs)
+	out := make([]string, len(res.DCs))
+	for i, dc := range res.DCs {
+		out[i] = dc.String()
+	}
+	return out
+}
+
+// TestGoldenFromSnapshot pins the persistence tentpole's end-to-end
+// guarantee: mining from a snapshot-loaded (or mmap-attached) relation
+// reproduces the checked-in golden DC sets bit for bit.
+func TestGoldenFromSnapshot(t *testing.T) {
+	for _, c := range goldenCases {
+		t.Run(c.dataset, func(t *testing.T) {
+			raw, err := os.ReadFile(goldenPath(c))
+			if err != nil {
+				t.Fatalf("missing golden file (run with -update-golden): %v", err)
+			}
+			want := strings.TrimRight(string(raw), "\n")
+			if got := strings.Join(mineFromSnapshot(t, c, false), "\n"); got != want {
+				t.Errorf("load: mined DCs diverge from golden set\ngot:\n%s\nwant:\n%s", got, want)
+			}
+			if got := strings.Join(mineFromSnapshot(t, c, true), "\n"); got != want {
+				t.Errorf("attach: mined DCs diverge from golden set\ngot:\n%s\nwant:\n%s", got, want)
+			}
+		})
+	}
+}
+
+// TestSnapshotRoundTripAPI exercises the top-level save/load pair and
+// the checker-adoption path.
+func TestSnapshotRoundTripAPI(t *testing.T) {
+	d, err := datagen.ByName("adult", 300, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checker := adc.NewChecker(d.Rel)
+	checker.Indexes().Warm(nil, 0)
+	path := filepath.Join(t.TempDir(), "adult.adcs")
+	if err := adc.SaveSnapshot(path, d.Rel, checker.Indexes()); err != nil {
+		t.Fatal(err)
+	}
+
+	rel, idx, err := adc.LoadSnapshot(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rel, d.Rel) {
+		t.Fatal("loaded relation differs from the saved one")
+	}
+	if got, want := idx.CachedColumns(), checker.Indexes().CachedColumns(); got != want {
+		t.Fatalf("loaded store has %d indexes, saved had %d", got, want)
+	}
+
+	warm, err := adc.NewCheckerWithStore(rel, idx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.CachedIndexes() != idx.CachedColumns() {
+		t.Fatal("checker did not adopt the restored indexes")
+	}
+	golden := make([]string, len(d.Golden))
+	for i, g := range d.Golden {
+		golden[i] = g.String()
+	}
+	specs, err := adc.ParseDCSpecs(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, err := adc.Violations(d.Rel, specs, adc.CheckOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromSnap, err := warm.Check(specs, adc.CheckOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.Violations != fromSnap.Violations {
+		t.Fatalf("violation counts diverge: cold %d, snapshot %d", cold.Violations, fromSnap.Violations)
+	}
+	hits, misses := warm.IndexStats()
+	if misses != 0 && hits == 0 {
+		t.Fatalf("warm checker built indexes from scratch (hits=%d misses=%d)", hits, misses)
+	}
+
+	// A store that does not cover the relation is rejected.
+	other, _ := datagen.ByName("tax", 50, 1)
+	if _, err := adc.NewCheckerWithStore(other.Rel, idx); err == nil {
+		t.Fatal("mismatched store accepted")
+	}
+}
