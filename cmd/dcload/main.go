@@ -1,0 +1,127 @@
+// Command dcload drives deterministic mixed traffic against a running
+// dcserved endpoint and reports per-op-type latency (p50/p95/p99/max),
+// throughput, and classified errors. It is the load-and-consistency
+// harness behind the CI sustained-load gate: every client verifies
+// from the outside that appends are never silently lost under
+// concurrency, in the spirit of client-side black-box checkers.
+//
+// The workload is replayable: for a fixed -seed, every client issues
+// the exact same op sequence (validate/append/register/mine drawn at
+// the -mix ratios) regardless of timing or server speed. By default
+// clients run closed-loop (back-to-back); -qps switches to open-loop
+// scheduled arrivals with latency measured from the scheduled arrival
+// time, so an overloaded server shows up as queueing delay instead of
+// being hidden by coordinated omission.
+//
+// Usage:
+//
+//	dcload -addr http://127.0.0.1:8080 -concurrency 16 -duration 30s \
+//	       -mix 70/15/10/5 -seed 7 -warmup 3s -soak -json BENCH_load.json
+//
+// Exit status: 0 on a clean run, 1 on usage or setup errors, 2 when
+// the consistency verifier found lost appends or row-count
+// regressions, when -max-p99-validate was exceeded, or when
+// -fail-on-errors was set and any request failed.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"adc/internal/loadgen"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", "http://127.0.0.1:8080", "dcserved base URL")
+		concurrency = flag.Int("concurrency", 8, "concurrent load clients")
+		duration    = flag.Duration("duration", 0, "run length in wall time (0 = use -requests)")
+		requests    = flag.Int("requests", 0, "total request budget across clients (0 = use -duration)")
+		qps         = flag.Float64("qps", 0, "open-loop aggregate arrival rate (0 = closed loop)")
+		warmup      = flag.Duration("warmup", 0, "initial window excluded from stats")
+		seed        = flag.Int64("seed", 1, "workload seed; a fixed seed replays the exact op sequence per client")
+		mixFlag     = flag.String("mix", "70/15/10/5", "validate/append/register/mine weights")
+		dataset     = flag.String("dataset", "adult", "synthetic generator for base and registered datasets")
+		rows        = flag.Int("rows", 100, "rows per generated dataset")
+		datasets    = flag.Int("datasets", 0, "base datasets shared by the clients (0 = one per client)")
+		epsilon     = flag.Float64("epsilon", 0.05, "validate/mine approximation threshold")
+		maxPreds    = flag.Int("max-predicates", 2, "mine DC length bound (keeps analytical jobs bounded)")
+		soak        = flag.Bool("soak", false, "sample /metrics during the run and report server-side validate latency next to client-observed")
+		timeout     = flag.Duration("timeout", 60*time.Second, "per-request HTTP timeout (also bounds one mine job wait)")
+		jsonPath    = flag.String("json", "", "write the machine report (BENCH_load.json shape) to this file")
+		keep        = flag.Bool("keep-datasets", false, "leave the datasets the run created on the server")
+		maxP99      = flag.Duration("max-p99-validate", 0, "exit 2 if client-observed validate p99 exceeds this (0 = no gate)")
+		failOnErr   = flag.Bool("fail-on-errors", false, "exit 2 on any non-2xx or transport error")
+		quiet       = flag.Bool("q", false, "suppress progress logging")
+	)
+	flag.Parse()
+
+	mix, err := loadgen.ParseMix(*mixFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dcload:", err)
+		os.Exit(1)
+	}
+	spec := loadgen.Spec{
+		BaseURL:       *addr,
+		Concurrency:   *concurrency,
+		Duration:      *duration,
+		Requests:      *requests,
+		TargetQPS:     *qps,
+		Warmup:        *warmup,
+		Seed:          *seed,
+		Mix:           mix,
+		Dataset:       *dataset,
+		Rows:          *rows,
+		Datasets:      *datasets,
+		Epsilon:       *epsilon,
+		MaxPredicates: *maxPreds,
+		Soak:          *soak,
+		Timeout:       *timeout,
+		KeepDatasets:  *keep,
+	}
+	if !*quiet {
+		spec.Logf = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "dcload: "+format+"\n", args...)
+		}
+	}
+
+	rep, err := loadgen.Run(spec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dcload:", err)
+		os.Exit(1)
+	}
+	rep.WriteTable(os.Stdout)
+	if *jsonPath != "" {
+		f, err := os.Create(*jsonPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dcload:", err)
+			os.Exit(1)
+		}
+		if err := rep.WriteJSON(f); err == nil {
+			err = f.Close()
+		} else {
+			f.Close()
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dcload: write report:", err)
+			os.Exit(1)
+		}
+	}
+
+	code := 0
+	if rep.Failed() {
+		fmt.Fprintln(os.Stderr, "dcload: FAIL: consistency verifier found lost appends or row regressions")
+		code = 2
+	}
+	if *maxP99 > 0 && rep.P99ValidateUS > float64(*maxP99)/float64(time.Microsecond) {
+		fmt.Fprintf(os.Stderr, "dcload: FAIL: validate p99 %.0fµs exceeds gate %s\n", rep.P99ValidateUS, *maxP99)
+		code = 2
+	}
+	if *failOnErr && (rep.Non2xx > 0 || rep.TransportErrors > 0) {
+		fmt.Fprintf(os.Stderr, "dcload: FAIL: %d non-2xx, %d transport errors\n", rep.Non2xx, rep.TransportErrors)
+		code = 2
+	}
+	os.Exit(code)
+}

@@ -119,5 +119,12 @@ func main() {
 			log.Printf("dcserved: forced shutdown: %v", err)
 			httpSrv.Close()
 		}
+		// Shutdown only drains HTTP requests; accepted mine jobs keep
+		// running in goroutines. Give them the rest of the grace window
+		// so a CI teardown (or a rolling restart) never truncates an
+		// analytical job mid-flight.
+		if err := srv.Drain(shutdownCtx); err != nil {
+			log.Printf("dcserved: mine jobs still running after grace: %v", err)
+		}
 	}
 }

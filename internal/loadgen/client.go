@@ -1,0 +1,205 @@
+package loadgen
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+)
+
+// api is the minimal dcserved wire client the load clients share. It
+// speaks the same JSON the handlers in internal/server define, but on
+// purpose through its own decode-only structs: loadgen measures the
+// service from outside the process boundary, like a real client would,
+// so it must not import server internals.
+type api struct {
+	base string
+	hc   *http.Client
+}
+
+func newAPI(baseURL string, concurrency int, timeout time.Duration) *api {
+	tr := &http.Transport{
+		MaxIdleConns:        concurrency * 2,
+		MaxIdleConnsPerHost: concurrency * 2,
+		IdleConnTimeout:     90 * time.Second,
+	}
+	return &api{
+		base: baseURL,
+		hc:   &http.Client{Transport: tr, Timeout: timeout},
+	}
+}
+
+func (a *api) close() { a.hc.CloseIdleConnections() }
+
+// errStatus marks a response that arrived but was not 2xx; the runner
+// classifies it apart from transport failures.
+type errStatus struct {
+	code int
+	body string
+}
+
+func (e *errStatus) Error() string { return fmt.Sprintf("http %d: %s", e.code, e.body) }
+
+// do runs one JSON round trip. A nil in sends no body; a nil out
+// discards the response body. Non-2xx responses decode the server's
+// error message into errStatus.
+func (a *api) do(method, path string, in, out any) (int, error) {
+	var body *bytes.Reader
+	if in != nil {
+		b, err := json.Marshal(in)
+		if err != nil {
+			return 0, err
+		}
+		body = bytes.NewReader(b)
+	} else {
+		body = bytes.NewReader(nil)
+	}
+	req, err := http.NewRequest(method, a.base+path, body)
+	if err != nil {
+		return 0, err
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := a.hc.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		var e struct {
+			Error string `json:"error"`
+		}
+		json.NewDecoder(resp.Body).Decode(&e) //nolint:errcheck // best-effort message
+		return resp.StatusCode, &errStatus{code: resp.StatusCode, body: e.Error}
+	}
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			return resp.StatusCode, fmt.Errorf("decode %s %s: %w", method, path, err)
+		}
+	}
+	return resp.StatusCode, nil
+}
+
+// ---- wire shapes (decode-only, fields loadgen actually reads) ------------
+
+type dsInfo struct {
+	ID      string `json:"id"`
+	Rows    int    `json:"rows"`
+	Columns []struct {
+		Name string `json:"name"`
+		Type string `json:"type"`
+	} `json:"columns"`
+	GoldenDCs []string `json:"golden_dcs"`
+}
+
+type appendResp struct {
+	Rows     int `json:"rows"`
+	Appended int `json:"appended"`
+}
+
+type validateResp struct {
+	Rows       int   `json:"rows"`
+	OK         bool  `json:"ok"`
+	Violations int64 `json:"violations"`
+}
+
+type jobResp struct {
+	Job   string `json:"job"`
+	State string `json:"state"`
+	Error string `json:"error"`
+}
+
+type registerReq struct {
+	Generate generateSpec `json:"generate"`
+}
+
+type generateSpec struct {
+	Dataset string `json:"dataset"`
+	Rows    int    `json:"rows"`
+	Seed    int64  `json:"seed"`
+}
+
+type validateReq struct {
+	DCs      []string `json:"dcs"`
+	Epsilon  float64  `json:"epsilon,omitempty"`
+	MaxPairs *int     `json:"max_pairs,omitempty"`
+}
+
+type appendReq struct {
+	Rows [][]string `json:"rows"`
+}
+
+type mineReq struct {
+	Epsilon       float64 `json:"epsilon,omitempty"`
+	MaxPredicates int     `json:"max_predicates,omitempty"`
+	Seed          int64   `json:"seed,omitempty"`
+}
+
+// ---- endpoint wrappers ---------------------------------------------------
+
+func (a *api) register(dataset string, rows int, seed int64) (dsInfo, int, error) {
+	var out dsInfo
+	code, err := a.do("POST", "/datasets", registerReq{
+		Generate: generateSpec{Dataset: dataset, Rows: rows, Seed: seed},
+	}, &out)
+	return out, code, err
+}
+
+func (a *api) info(id string) (dsInfo, int, error) {
+	var out dsInfo
+	code, err := a.do("GET", "/datasets/"+id, nil, &out)
+	return out, code, err
+}
+
+func (a *api) deleteDataset(id string) (int, error) {
+	return a.do("DELETE", "/datasets/"+id, nil, nil)
+}
+
+func (a *api) validate(id string, req validateReq) (validateResp, int, error) {
+	var out validateResp
+	code, err := a.do("POST", "/datasets/"+id+"/validate", req, &out)
+	return out, code, err
+}
+
+func (a *api) appendRows(id string, rows [][]string) (appendResp, int, error) {
+	var out appendResp
+	code, err := a.do("POST", "/datasets/"+id+"/rows", appendReq{Rows: rows}, &out)
+	return out, code, err
+}
+
+func (a *api) mineSubmit(id string, req mineReq) (string, int, error) {
+	var out struct {
+		Job string `json:"job"`
+	}
+	code, err := a.do("POST", "/datasets/"+id+"/mine", req, &out)
+	return out.Job, code, err
+}
+
+func (a *api) jobGet(id string) (jobResp, int, error) {
+	var out jobResp
+	code, err := a.do("GET", "/jobs/"+id, nil, &out)
+	return out, code, err
+}
+
+// metricsSnapshot decodes the /metrics fields the soak sampler reads.
+type metricsSnapshot struct {
+	Latency map[string]struct {
+		Count  int64   `json:"count"`
+		MeanUS float64 `json:"mean_us"`
+		P50US  float64 `json:"p50_us"`
+		P99US  float64 `json:"p99_us"`
+	} `json:"latency"`
+	JobsActive int `json:"jobs_active"`
+	Sessions   struct {
+		Count    int   `json:"count"`
+		MemBytes int64 `json:"mem_bytes"`
+	} `json:"sessions"`
+}
+
+func (a *api) metrics() (metricsSnapshot, int, error) {
+	var out metricsSnapshot
+	code, err := a.do("GET", "/metrics", nil, &out)
+	return out, code, err
+}

@@ -1,0 +1,239 @@
+// Package loadgen generates deterministic mixed traffic against a
+// dcserved endpoint and reports per-op-type latency, throughput, and
+// classified errors. It is the engine behind cmd/dcload and the
+// in-process server soak tests.
+//
+// A run spins up Spec.Concurrency clients. Each client owns a
+// deterministic op stream — the op-kind sequence is a pure function of
+// (Spec.Seed, client id, Spec.Mix), drawn from a dedicated RNG that
+// value generation never touches — so a fixed seed replays the exact
+// same workload, request for request, regardless of timing, worker
+// interleaving, or server speed. Clients drive register / validate /
+// append / mine traffic at the Mix ratios, either closed-loop
+// (back-to-back, the default) or open-loop (scheduled arrivals at
+// TargetQPS; latency is measured from the scheduled arrival time, so
+// a stalled server shows up as queueing delay instead of being hidden
+// by coordinated omission).
+//
+// Every client doubles as a consistency verifier in the spirit of
+// client-side black-box checkers: row counts in responses must never
+// regress a previously observed count for the same dataset (appends
+// are monotone — a violation means a lost append or a stale read), and
+// after the clients join, each base dataset's final row count must
+// equal its initial rows plus every append the clients issued against
+// it. Violations are counted in the report, never silently dropped.
+package loadgen
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Op kinds, in mix order.
+const (
+	OpValidate = iota
+	OpAppend
+	OpRegister
+	OpMine
+	numOps
+)
+
+// OpNames maps op kinds to their wire/report names.
+var OpNames = [numOps]string{"validate", "append", "register", "mine"}
+
+// Mix is the op-type weighting of the generated traffic. Weights are
+// relative (70/15/10/5 and 14/3/2/1 describe the same mix); a zero
+// weight disables the op type entirely.
+type Mix struct {
+	Validate int
+	Append   int
+	Register int
+	Mine     int
+}
+
+// ParseMix parses "validate/append/register/mine" weights, e.g.
+// "70/15/10/5".
+func ParseMix(s string) (Mix, error) {
+	parts := strings.Split(s, "/")
+	if len(parts) != numOps {
+		return Mix{}, fmt.Errorf("mix %q: want validate/append/register/mine, e.g. 70/15/10/5", s)
+	}
+	var w [numOps]int
+	for k, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil || v < 0 {
+			return Mix{}, fmt.Errorf("mix %q: weight %q is not a non-negative integer", s, p)
+		}
+		w[k] = v
+	}
+	m := Mix{Validate: w[0], Append: w[1], Register: w[2], Mine: w[3]}
+	if m.total() == 0 {
+		return Mix{}, fmt.Errorf("mix %q: all weights are zero", s)
+	}
+	return m, nil
+}
+
+func (m Mix) total() int { return m.Validate + m.Append + m.Register + m.Mine }
+
+func (m Mix) String() string {
+	return fmt.Sprintf("%d/%d/%d/%d", m.Validate, m.Append, m.Register, m.Mine)
+}
+
+// weights returns the mix in op-kind order.
+func (m Mix) weights() [numOps]int {
+	return [numOps]int{m.Validate, m.Append, m.Register, m.Mine}
+}
+
+// Spec configures a load run. BaseURL, and either Duration or
+// Requests, are required; everything else has working defaults.
+type Spec struct {
+	// BaseURL is the dcserved endpoint, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// Concurrency is the client count (default 8).
+	Concurrency int
+	// Duration bounds the run in wall time; Requests bounds it in total
+	// ops across clients. At least one must be set; with both, the
+	// first reached stops the run.
+	Duration time.Duration
+	Requests int
+	// TargetQPS > 0 switches to open-loop mode: arrivals are scheduled
+	// at this aggregate rate and latency is measured from the scheduled
+	// arrival. 0 is closed-loop (each client issues back-to-back).
+	TargetQPS float64
+	// Warmup discards stats for ops started before this much of the run
+	// has elapsed (they still execute and still verify consistency).
+	Warmup time.Duration
+	// Seed fixes the per-client op streams. Same seed, same workload.
+	Seed int64
+	// Mix is the op weighting (default 70/15/10/5).
+	Mix Mix
+	// Dataset names the synthetic generator for base and registered
+	// datasets (default "adult").
+	Dataset string
+	// Rows is the row count of each generated dataset (default 100).
+	Rows int
+	// Datasets is the number of base datasets registered before the
+	// measured run; clients are assigned to them round-robin for
+	// appends, and validates target any of them (default Concurrency,
+	// capped at Concurrency).
+	Datasets int
+	// MaxPredicates / Epsilon tune the mine ops (defaults 2 and 0.05)
+	// to keep analytical jobs heavyweight-but-bounded.
+	MaxPredicates int
+	Epsilon       float64
+	// Soak, when set, samples /metrics every SoakInterval (default 1s)
+	// during the run and summarizes server-side validate latency next
+	// to the client-observed numbers.
+	Soak         bool
+	SoakInterval time.Duration
+	// Timeout is the per-request HTTP timeout (default 60s).
+	Timeout time.Duration
+	// KeepDatasets leaves the datasets the run created on the server
+	// (the default tears them down).
+	KeepDatasets bool
+	// Logf, when set, receives progress lines (setup, teardown).
+	Logf func(format string, args ...any)
+}
+
+func (s Spec) withDefaults() Spec {
+	if s.Concurrency <= 0 {
+		s.Concurrency = 8
+	}
+	if s.Mix.total() == 0 {
+		s.Mix = Mix{Validate: 70, Append: 15, Register: 10, Mine: 5}
+	}
+	if s.Dataset == "" {
+		s.Dataset = "adult"
+	}
+	if s.Rows <= 0 {
+		s.Rows = 100
+	}
+	if s.Datasets <= 0 || s.Datasets > s.Concurrency {
+		s.Datasets = s.Concurrency
+	}
+	if s.MaxPredicates <= 0 {
+		s.MaxPredicates = 2
+	}
+	if s.Epsilon <= 0 {
+		s.Epsilon = 0.05
+	}
+	if s.SoakInterval <= 0 {
+		s.SoakInterval = time.Second
+	}
+	if s.Timeout <= 0 {
+		s.Timeout = 60 * time.Second
+	}
+	return s
+}
+
+func (s Spec) validate() error {
+	if s.BaseURL == "" {
+		return fmt.Errorf("loadgen: BaseURL is required")
+	}
+	if s.Duration <= 0 && s.Requests <= 0 {
+		return fmt.Errorf("loadgen: set Duration or Requests")
+	}
+	return nil
+}
+
+func (s Spec) logf(format string, args ...any) {
+	if s.Logf != nil {
+		s.Logf(format, args...)
+	}
+}
+
+// opPicker yields the deterministic op-kind stream of one client. The
+// stream depends only on (seed, client, mix): it has its own RNG that
+// nothing else draws from, so adding randomness to op payloads can
+// never shift which ops a seed produces.
+type opPicker struct {
+	rng   *rand.Rand
+	w     [numOps]int
+	total int
+}
+
+// clientSeed spreads adjacent (seed, client) pairs across the int64
+// space (splitmix64-style odd constant) so client streams are
+// decorrelated even for seeds 0, 1, 2, ...
+func clientSeed(seed int64, client int, stream int64) int64 {
+	x := seed + int64(client+1)*-0x61c8864680b583eb + stream*-0x7f4a7c159e3779b9
+	x ^= int64(uint64(x) >> 30)
+	return x
+}
+
+func newOpPicker(seed int64, client int, mix Mix) *opPicker {
+	return &opPicker{
+		rng:   rand.New(rand.NewSource(clientSeed(seed, client, 1))),
+		w:     mix.weights(),
+		total: mix.total(),
+	}
+}
+
+func (p *opPicker) next() int {
+	r := p.rng.Intn(p.total)
+	for kind, w := range p.w {
+		if r < w {
+			return kind
+		}
+		r -= w
+	}
+	return OpValidate // unreachable: weights sum to total
+}
+
+// OpSequence returns the first n op names of the given client's
+// deterministic stream — the replayable workload contract that the
+// determinism tests (and anyone debugging a run) rely on.
+func OpSequence(seed int64, client, n int, mix Mix) []string {
+	if mix.total() == 0 {
+		mix = Spec{}.withDefaults().Mix
+	}
+	p := newOpPicker(seed, client, mix)
+	out := make([]string, n)
+	for k := range out {
+		out[k] = OpNames[p.next()]
+	}
+	return out
+}

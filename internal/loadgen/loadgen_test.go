@@ -1,0 +1,158 @@
+package loadgen
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestParseMix(t *testing.T) {
+	m, err := ParseMix("70/15/10/5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m != (Mix{Validate: 70, Append: 15, Register: 10, Mine: 5}) {
+		t.Fatalf("mix = %+v", m)
+	}
+	if m.String() != "70/15/10/5" {
+		t.Fatalf("String = %q", m.String())
+	}
+	for _, bad := range []string{"", "70/15/10", "70/15/10/5/1", "a/b/c/d", "-1/1/1/1", "0/0/0/0"} {
+		if _, err := ParseMix(bad); err == nil {
+			t.Errorf("ParseMix(%q) accepted", bad)
+		}
+	}
+	// Zero-weight ops are legal and must never be drawn.
+	m2, err := ParseMix("1/0/0/0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, op := range OpSequence(3, 0, 500, m2) {
+		if op != "validate" {
+			t.Fatalf("zero-weight op %q drawn", op)
+		}
+	}
+}
+
+// TestOpSequenceDeterministic pins the workload contract: the op
+// stream is a pure function of (seed, client, mix) — replaying a seed
+// replays the traffic.
+func TestOpSequenceDeterministic(t *testing.T) {
+	mix := Mix{Validate: 70, Append: 15, Register: 10, Mine: 5}
+	a := OpSequence(42, 3, 1000, mix)
+	b := OpSequence(42, 3, 1000, mix)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same (seed, client, mix) produced different op sequences")
+	}
+	if reflect.DeepEqual(a, OpSequence(43, 3, 1000, mix)) {
+		t.Fatal("different seeds produced identical op sequences")
+	}
+	if reflect.DeepEqual(a, OpSequence(42, 4, 1000, mix)) {
+		t.Fatal("different clients produced identical op sequences")
+	}
+
+	// Golden prefix for seed 42, client 0: a changed RNG, mix decoder,
+	// or draw order silently reshuffles every CI load run — this fails
+	// loudly instead.
+	golden := []string{
+		"validate", "validate", "validate", "validate", "append",
+		"append", "validate", "validate", "mine", "mine",
+	}
+	if got := OpSequence(42, 0, len(golden), mix); !reflect.DeepEqual(got, golden) {
+		t.Fatalf("golden op prefix changed:\n got %v\nwant %v", got, golden)
+	}
+}
+
+func TestOpSequenceFollowsMix(t *testing.T) {
+	mix := Mix{Validate: 70, Append: 15, Register: 10, Mine: 5}
+	counts := map[string]int{}
+	const n = 20000
+	for _, op := range OpSequence(7, 1, n, mix) {
+		counts[op]++
+	}
+	total := mix.total()
+	for k, name := range OpNames {
+		want := float64(mix.weights()[k]) / float64(total)
+		got := float64(counts[name]) / n
+		if got < want-0.02 || got > want+0.02 {
+			t.Errorf("%s frequency %.3f, want %.3f ± 0.02", name, got, want)
+		}
+	}
+}
+
+func TestSpecDefaultsAndValidation(t *testing.T) {
+	s := Spec{}.withDefaults()
+	if s.Concurrency != 8 || s.Mix.total() == 0 || s.Dataset != "adult" || s.Rows != 100 {
+		t.Fatalf("defaults: %+v", s)
+	}
+	if s.Datasets != s.Concurrency {
+		t.Fatalf("datasets default %d, want concurrency %d", s.Datasets, s.Concurrency)
+	}
+	if err := (Spec{BaseURL: "http://x", Requests: 1}).validate(); err != nil {
+		t.Fatalf("valid spec rejected: %v", err)
+	}
+	if err := (Spec{Requests: 1}).validate(); err == nil {
+		t.Fatal("missing BaseURL accepted")
+	}
+	if err := (Spec{BaseURL: "http://x"}).validate(); err == nil {
+		t.Fatal("missing Duration and Requests accepted")
+	}
+	// Datasets never exceeds Concurrency: appends are assigned to base
+	// datasets round-robin over clients, so extra datasets would sit
+	// idle and break the final-count verifier's coverage.
+	s = Spec{Concurrency: 4, Datasets: 9}.withDefaults()
+	if s.Datasets != 4 {
+		t.Fatalf("datasets = %d, want clamped to 4", s.Datasets)
+	}
+}
+
+// TestReportJSONGateFields pins the BENCH_load.json contract the CI
+// gate jq-reads; renaming any of these keys breaks the gate silently.
+func TestReportJSONGateFields(t *testing.T) {
+	rep := &Report{Ops: map[string]OpStats{"validate": {Count: 1}}}
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &m); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{
+		"p99_validate_us", "non_2xx", "transport_errors", "lost_appends",
+		"consistency_violations", "mine_job_failures", "throughput_qps", "ops",
+	} {
+		if _, ok := m[key]; !ok {
+			t.Errorf("BENCH_load.json missing gate key %q", key)
+		}
+	}
+}
+
+func TestReportTableRenders(t *testing.T) {
+	rep := &Report{
+		Concurrency: 2, Mix: "70/15/10/5", Mode: "closed", Dataset: "adult",
+		Ops: map[string]OpStats{
+			"validate": {Count: 10, QPS: 5, MeanUS: 100, P50US: 90, P95US: 150, P99US: 200, MaxUS: 1e7},
+		},
+		Soak: &SoakReport{Samples: 3, ServerValidateP99US: 80},
+	}
+	var buf bytes.Buffer
+	rep.WriteTable(&buf)
+	out := buf.String()
+	for _, want := range []string{"validate", "p99", "10.00s", "soak: 3 samples"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestReportFailed(t *testing.T) {
+	if (&Report{}).Failed() {
+		t.Fatal("clean report reported failed")
+	}
+	if !(&Report{LostAppends: 1}).Failed() || !(&Report{ConsistencyViolations: 1}).Failed() {
+		t.Fatal("verifier failure not reported")
+	}
+}

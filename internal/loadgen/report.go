@@ -1,0 +1,153 @@
+package loadgen
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"text/tabwriter"
+	"time"
+)
+
+// OpStats summarizes one op type over the measured (post-warmup)
+// window. All latency fields are microseconds, matching the /metrics
+// convention, so client-side and server-side numbers compare directly.
+type OpStats struct {
+	Count int64 `json:"count"`
+	// Attempts counts every request issued for this op, warmup and
+	// failures included — the number that must match the server's
+	// route counter in /metrics.
+	Attempts int64   `json:"attempts"`
+	Errors   int64   `json:"errors"`
+	QPS      float64 `json:"qps"`
+	MeanUS   float64 `json:"mean_us"`
+	P50US    float64 `json:"p50_us"`
+	P95US    float64 `json:"p95_us"`
+	P99US    float64 `json:"p99_us"`
+	MaxUS    float64 `json:"max_us"`
+}
+
+// SoakReport correlates server-side /metrics samples with the
+// client-observed numbers: ServerValidate* summarize the server's own
+// validate-route histogram across the samples, so the gap to the
+// client p99 is the transport plus queueing share of latency.
+type SoakReport struct {
+	Samples              int     `json:"samples"`
+	ServerValidateP50US  float64 `json:"server_validate_p50_us"`
+	ServerValidateP99US  float64 `json:"server_validate_p99_us"`
+	MaxJobsActive        int     `json:"max_jobs_active"`
+	MaxSessionMemBytes   int64   `json:"max_session_mem_bytes"`
+	ClientMinusServerP99 float64 `json:"client_minus_server_p99_us"`
+}
+
+// Report is the outcome of one load run. Its JSON form is the
+// BENCH_load.json artifact: flat gate fields at the top level
+// (p99_validate_us, non_2xx, lost_appends, consistency_violations,
+// transport_errors) so CI can jq them without digging, per-op detail
+// nested under ops.
+type Report struct {
+	Concurrency int     `json:"concurrency"`
+	Mix         string  `json:"mix"`
+	Seed        int64   `json:"seed"`
+	Mode        string  `json:"mode"` // "closed" or "open@<qps>"
+	Dataset     string  `json:"dataset"`
+	Rows        int     `json:"rows"`
+	Datasets    int     `json:"datasets"`
+	WarmupS     float64 `json:"warmup_s"`
+	DurationS   float64 `json:"duration_s"`
+
+	TotalRequests int64   `json:"total_requests"`
+	WarmupSkipped int64   `json:"warmup_skipped"`
+	ThroughputQPS float64 `json:"throughput_qps"`
+	Polls         int64   `json:"polls"`
+
+	Ops map[string]OpStats `json:"ops"`
+
+	// Gate fields. P99ValidateUS duplicates ops.validate.p99_us so the
+	// CI gate and the artifact cannot drift apart.
+	P99ValidateUS         float64 `json:"p99_validate_us"`
+	Non2xx                int64   `json:"non_2xx"`
+	TransportErrors       int64   `json:"transport_errors"`
+	MineJobFailures       int64   `json:"mine_job_failures"`
+	LostAppends           int64   `json:"lost_appends"`
+	ConsistencyViolations int64   `json:"consistency_violations"`
+
+	// Statuses counts responses by HTTP status code.
+	Statuses map[string]int64 `json:"statuses"`
+	// Errors counts failures by classified kind (transport, http_4xx,
+	// http_5xx, decode, mine_job, lost_append, row_regression,
+	// dataset_missing).
+	Errors map[string]int64 `json:"errors,omitempty"`
+
+	Soak *SoakReport `json:"soak,omitempty"`
+}
+
+// Failed reports whether the run violated a client-side correctness
+// invariant (as opposed to merely being slow or erroring).
+func (r *Report) Failed() bool {
+	return r.LostAppends > 0 || r.ConsistencyViolations > 0
+}
+
+// WriteJSON writes the BENCH_load.json artifact.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+func us(d time.Duration) float64 { return float64(d) / float64(time.Microsecond) }
+
+func fmtUS(v float64) string {
+	switch {
+	case v >= 1e6:
+		return fmt.Sprintf("%.2fs", v/1e6)
+	case v >= 1e3:
+		return fmt.Sprintf("%.2fms", v/1e3)
+	default:
+		return fmt.Sprintf("%.0fµs", v)
+	}
+}
+
+// WriteTable renders the human-readable report.
+func (r *Report) WriteTable(w io.Writer) {
+	fmt.Fprintf(w, "dcload: %d clients, mix %s (validate/append/register/mine), %s, seed %d\n",
+		r.Concurrency, r.Mix, r.Mode, r.Seed)
+	fmt.Fprintf(w, "dataset %s x%d rows, %d base dataset(s), warmup %.1fs, measured %.1fs\n",
+		r.Dataset, r.Rows, r.Datasets, r.WarmupS, r.DurationS)
+	fmt.Fprintf(w, "throughput %.1f req/s over %d requests (%d during warmup, %d job polls not counted)\n\n",
+		r.ThroughputQPS, r.TotalRequests, r.WarmupSkipped, r.Polls)
+
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "op\tcount\terrors\tqps\tmean\tp50\tp95\tp99\tmax")
+	for _, name := range OpNames {
+		st, ok := r.Ops[name]
+		if !ok || st.Count == 0 {
+			continue
+		}
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%.1f\t%s\t%s\t%s\t%s\t%s\n",
+			name, st.Count, st.Errors, st.QPS,
+			fmtUS(st.MeanUS), fmtUS(st.P50US), fmtUS(st.P95US), fmtUS(st.P99US), fmtUS(st.MaxUS))
+	}
+	tw.Flush()
+
+	fmt.Fprintf(w, "\nerrors: non-2xx=%d transport=%d mine-job=%d\n",
+		r.Non2xx, r.TransportErrors, r.MineJobFailures)
+	fmt.Fprintf(w, "consistency: lost-appends=%d violations=%d\n",
+		r.LostAppends, r.ConsistencyViolations)
+	if len(r.Errors) > 0 {
+		kinds := make([]string, 0, len(r.Errors))
+		for k := range r.Errors {
+			kinds = append(kinds, k)
+		}
+		sort.Strings(kinds)
+		for _, k := range kinds {
+			fmt.Fprintf(w, "  %s: %d\n", k, r.Errors[k])
+		}
+	}
+	if r.Soak != nil {
+		fmt.Fprintf(w, "soak: %d samples; server validate p50 %s p99 %s; client-server p99 gap %s; max active jobs %d\n",
+			r.Soak.Samples,
+			fmtUS(r.Soak.ServerValidateP50US), fmtUS(r.Soak.ServerValidateP99US),
+			fmtUS(r.Soak.ClientMinusServerP99), r.Soak.MaxJobsActive)
+	}
+}

@@ -1,0 +1,90 @@
+package loadgen
+
+import (
+	"sync"
+	"time"
+)
+
+// validateRoute is the /metrics latency key of the validate handler.
+const validateRoute = "POST /datasets/{id}/validate"
+
+// soakSampler polls /metrics on a fixed cadence while the clients run,
+// so the report can put the server's own view of validate latency next
+// to the client-observed one: the gap between them is transport plus
+// accept-queue time — the part of tail latency the server's histogram
+// cannot see.
+type soakSampler struct {
+	api  *api
+	done chan struct{}
+	wg   sync.WaitGroup
+
+	mu         sync.Mutex
+	samples    int
+	last       metricsSnapshot
+	maxJobs    int
+	maxMem     int64
+	haveSample bool
+}
+
+func startSoak(a *api, interval time.Duration) *soakSampler {
+	s := &soakSampler{api: a, done: make(chan struct{})}
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-s.done:
+				s.sample() // final sample: the cumulative run summary
+				return
+			case <-t.C:
+				s.sample()
+			}
+		}
+	}()
+	return s
+}
+
+func (s *soakSampler) sample() {
+	snap, _, err := s.api.metrics()
+	if err != nil {
+		return // sampling is best-effort; gaps just mean fewer samples
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.samples++
+	s.last = snap
+	s.haveSample = true
+	if snap.JobsActive > s.maxJobs {
+		s.maxJobs = snap.JobsActive
+	}
+	if snap.Sessions.MemBytes > s.maxMem {
+		s.maxMem = snap.Sessions.MemBytes
+	}
+}
+
+func (s *soakSampler) stop() {
+	close(s.done)
+	s.wg.Wait()
+}
+
+// report summarizes the samples. The server's histograms are
+// cumulative over its lifetime, so the final sample's quantiles
+// already summarize the whole run; the maxima are tracked per sample.
+func (s *soakSampler) report() SoakReport {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rep := SoakReport{
+		Samples:            s.samples,
+		MaxJobsActive:      s.maxJobs,
+		MaxSessionMemBytes: s.maxMem,
+	}
+	if s.haveSample {
+		if lat, ok := s.last.Latency[validateRoute]; ok {
+			rep.ServerValidateP50US = lat.P50US
+			rep.ServerValidateP99US = lat.P99US
+		}
+	}
+	return rep
+}

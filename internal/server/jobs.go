@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -19,6 +20,9 @@ const (
 type job struct {
 	id      string
 	dataset string
+	// onDone is invoked exactly once when the job reaches a terminal
+	// state; the store uses it to track in-flight jobs for drain.
+	onDone func()
 
 	mu       sync.Mutex
 	state    string
@@ -49,15 +53,18 @@ func (j *job) view() jobView {
 
 func (j *job) finish(res *mineResult, err error) {
 	j.mu.Lock()
-	defer j.mu.Unlock()
 	j.finished = time.Now()
 	if err != nil {
 		j.state = jobFailed
 		j.err = err.Error()
-		return
+	} else {
+		j.state = jobDone
+		j.result = res
 	}
-	j.state = jobDone
-	j.result = res
+	j.mu.Unlock()
+	if j.onDone != nil {
+		j.onDone()
+	}
 }
 
 type jobView struct {
@@ -75,12 +82,16 @@ type jobView struct {
 // oldest finished jobs are pruned first. Running jobs are never pruned.
 const maxFinishedJobs = 256
 
-// jobStore tracks jobs by id with bounded retention.
+// jobStore tracks jobs by id with bounded retention. The WaitGroup
+// counts in-flight jobs: http.Server.Shutdown drains HTTP requests but
+// knows nothing of the mining goroutines they spawned, so a graceful
+// stop must also wait here (see Server.Drain).
 type jobStore struct {
 	mu     sync.Mutex
 	byID   map[string]*job
 	order  []string // creation order, oldest first
 	nextID int
+	wg     sync.WaitGroup
 }
 
 func newJobStore() *jobStore {
@@ -91,9 +102,12 @@ func (st *jobStore) create(dataset string) *job {
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	st.nextID++
+	st.wg.Add(1)
+	var once sync.Once
 	j := &job{
 		id:      fmt.Sprintf("job-%d", st.nextID),
 		dataset: dataset,
+		onDone:  func() { once.Do(st.wg.Done) },
 		state:   jobRunning,
 		started: time.Now(),
 	}
@@ -121,6 +135,22 @@ func (st *jobStore) running() int {
 		j.mu.Unlock()
 	}
 	return n
+}
+
+// drain blocks until every running job reaches a terminal state or the
+// context expires, returning the context's error in the latter case.
+func (st *jobStore) drain(ctx context.Context) error {
+	done := make(chan struct{})
+	go func() {
+		st.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
 }
 
 func (st *jobStore) pruneLocked() {

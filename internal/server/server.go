@@ -18,6 +18,7 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"math/rand"
@@ -132,6 +133,17 @@ func New(cfg Config) (*Server, error) {
 
 // Handler returns the HTTP handler serving the API.
 func (s *Server) Handler() http.Handler { return s.mux }
+
+// Drain waits for the asynchronous mining jobs still in flight.
+// http.Server.Shutdown covers only HTTP requests; the mine handler
+// answers 202 and keeps working in a goroutine, so a graceful stop is
+// Shutdown (no new jobs can be submitted) followed by Drain (the
+// accepted ones finish — and with persistence on, their sessions'
+// snapshots are already safe on disk regardless). Returns the
+// context's error if the deadline cuts the drain short.
+func (s *Server) Drain(ctx context.Context) error {
+	return s.jobs.drain(ctx)
+}
 
 // handle registers an instrumented route: the pattern labels the
 // request count and latency histogram in /metrics.

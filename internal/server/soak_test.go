@@ -1,0 +1,134 @@
+package server
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"adc/internal/loadgen"
+)
+
+// TestSoakLoadgenInProcess drives the loadgen library against an
+// in-process httptest server — the same engine cmd/dcload runs from
+// outside — under whatever -race scope the CI race job uses. It pins
+// three properties at once: the client-side consistency verifier
+// passes under genuinely concurrent mixed traffic, every request
+// succeeds, and the server's /metrics request counters agree exactly
+// with the client-side op attempts (no request invented or dropped by
+// either side's accounting).
+func TestSoakLoadgenInProcess(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test skipped in -short mode")
+	}
+	s, ts := testServer(t, Config{})
+
+	spec := loadgen.Spec{
+		BaseURL:     ts.URL,
+		Concurrency: 8,
+		Requests:    240,
+		Warmup:      50 * time.Millisecond,
+		Seed:        11,
+		Mix:         loadgen.Mix{Validate: 70, Append: 15, Register: 10, Mine: 5},
+		Dataset:     "adult",
+		Rows:        60,
+		Datasets:    4, // fewer datasets than clients: concurrent appends to shared sessions
+		Soak:        true,
+		// Sub-second so a requests-bounded run still collects samples.
+		SoakInterval: 100 * time.Millisecond,
+		// Leave the datasets up: teardown would otherwise race the
+		// /metrics comparison below with extra DELETE traffic.
+		KeepDatasets: true,
+	}
+	rep, err := loadgen.Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if rep.Failed() {
+		t.Fatalf("consistency verifier failed: lost_appends=%d violations=%d errors=%v",
+			rep.LostAppends, rep.ConsistencyViolations, rep.Errors)
+	}
+	if rep.Non2xx != 0 || rep.TransportErrors != 0 || rep.MineJobFailures != 0 {
+		t.Fatalf("errors under load: non2xx=%d transport=%d minejob=%d (%v)",
+			rep.Non2xx, rep.TransportErrors, rep.MineJobFailures, rep.Errors)
+	}
+	var attempts int64
+	for _, st := range rep.Ops {
+		attempts += st.Attempts
+	}
+	if attempts != 240 {
+		t.Fatalf("attempts = %d, want the full 240-request budget", attempts)
+	}
+	if rep.Soak == nil || rep.Soak.Samples == 0 {
+		t.Fatalf("soak sampler collected no samples: %+v", rep.Soak)
+	}
+
+	// Server-side request counters must match the client-side attempt
+	// counts exactly: transport was error-free, so every attempt is one
+	// handler invocation.
+	requests, statuses, _ := s.met.snapshot()
+	wantCounts := map[string]int64{
+		"POST /datasets/{id}/validate": rep.Ops["validate"].Attempts,
+		"POST /datasets/{id}/rows":     rep.Ops["append"].Attempts,
+		"POST /datasets/{id}/mine":     rep.Ops["mine"].Attempts,
+		// Registrations: the run's register ops plus the 4 base datasets.
+		"POST /datasets": rep.Ops["register"].Attempts + 4,
+		// Job polling traffic, counted by the client outside throughput.
+		"GET /jobs/{id}": rep.Polls,
+		// The final verifier's per-base-dataset info fetch.
+		"GET /datasets/{id}": 4,
+	}
+	for route, want := range wantCounts {
+		if got := requests[route]; got != want {
+			t.Errorf("server %s count = %d, client-side says %d", route, got, want)
+		}
+	}
+	for code, n := range statuses {
+		if code[0] != '2' {
+			t.Errorf("server counted %d responses with status %s", n, code)
+		}
+	}
+}
+
+// TestDrainWaitsForMineJobs pins the graceful-shutdown contract: after
+// the HTTP listener stops accepting work, Drain must block until the
+// accepted asynchronous mine jobs reach a terminal state — and must
+// respect its context deadline if they don't.
+func TestDrainWaitsForMineJobs(t *testing.T) {
+	s, ts := testServer(t, Config{})
+	client := ts.Client()
+
+	_, reg := call(t, client, "POST", ts.URL+"/datasets", map[string]any{
+		"generate": map[string]any{"dataset": "adult", "rows": 120, "seed": int64(3)},
+	})
+	id := reg["id"].(string)
+	code, resp := call(t, client, "POST", ts.URL+"/datasets/"+id+"/mine", map[string]any{
+		"epsilon": 0.05, "max_predicates": 2,
+	})
+	if code != 202 {
+		t.Fatalf("mine submit: %d %v", code, resp)
+	}
+	jobID := resp["job"].(string)
+
+	// A zero-deadline drain while the job runs must time out, not hang.
+	expired, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+	defer cancel()
+	if err := s.Drain(expired); err == nil {
+		if st := s.jobs.get(jobID); st != nil && st.view().State == jobRunning {
+			t.Fatal("Drain returned nil while a mine job was still running")
+		}
+	}
+
+	// A generous drain must return only once the job is terminal.
+	ctx, cancel2 := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel2()
+	if err := s.Drain(ctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	if st := s.jobs.get(jobID).view(); st.State == jobRunning {
+		t.Fatalf("job %s still running after drain", jobID)
+	}
+	if s.jobs.running() != 0 {
+		t.Fatalf("%d jobs running after drain", s.jobs.running())
+	}
+}

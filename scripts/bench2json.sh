@@ -1,0 +1,60 @@
+#!/usr/bin/env bash
+# bench2json.sh — convert `go test -bench` output into a BENCH_*.json
+# artifact, shared by every bench step in CI so the conversion logic
+# lives in exactly one place.
+#
+# Usage:
+#   bench2json.sh <bench.txt> <out.json> <name-regex> [key=NUM/DEN ...]
+#
+# Every benchmark line whose name matches <name-regex> (after stripping
+# the -GOMAXPROCS suffix) contributes its ns/op; with -count > 1 the
+# minimum per name is kept — min-of-runs is the standard noise-robust
+# statistic, so one slow sample on a loaded shared runner cannot flip a
+# speedup gate computed from these numbers. Each trailing key=NUM/DEN
+# argument appends a derived field: the ratio of the two named
+# benchmarks' ns/op (0 if the denominator is missing or zero), which is
+# how the speedup gates read their headline number straight from the
+# artifact they publish.
+set -euo pipefail
+
+if [ "$#" -lt 3 ]; then
+    echo "usage: $0 <bench.txt> <out.json> <name-regex> [key=NUM/DEN ...]" >&2
+    exit 2
+fi
+
+in=$1
+out=$2
+regex=$3
+shift 3
+ratios="$*"
+
+awk -v regex="$regex" -v ratios="$ratios" '
+  $4 == "ns/op" {
+    name = $1; sub(/-[0-9]+$/, "", name)
+    if (name !~ regex) next
+    if (!(name in ns)) { ns[name] = $3; order[n++] = name }
+    else if ($3 + 0 < ns[name] + 0) ns[name] = $3
+  }
+  END {
+    if (n == 0) {
+      print "bench2json: no benchmark lines matched " regex > "/dev/stderr"
+      exit 1
+    }
+    print "{"
+    nr = split(ratios, rspec, " ")
+    for (i = 0; i < n; i++) {
+      name = order[i]
+      sep = (i + 1 < n || nr > 0) ? "," : ""
+      printf("  \"%s\": {\"ns_per_op\": %s}%s\n", name, ns[name], sep)
+    }
+    for (r = 1; r <= nr; r++) {
+      split(rspec[r], kv, "=")
+      split(kv[2], nd, "/")
+      v = (ns[nd[2]] + 0 > 0) ? ns[nd[1]] / ns[nd[2]] : 0
+      sep = (r < nr) ? "," : ""
+      printf("  \"%s\": %.2f%s\n", kv[1], v, sep)
+    }
+    print "}"
+  }' "$in" > "$out"
+
+cat "$out"
