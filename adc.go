@@ -211,6 +211,18 @@ type Result struct {
 	EnumCalls int64
 	// LossEvals counts approximation-function evaluations.
 	LossEvals int64
+	// EvidenceDelta reports that the evidence set was derived by
+	// incremental delta maintenance from a cached pre-append set
+	// (MineCache.Extend) instead of a from-scratch build.
+	EvidenceDelta bool
+	// EvidenceDeltaPairs is the number of ordered tuple pairs the delta
+	// pass accounted for (0 on scratch builds).
+	EvidenceDeltaPairs int64
+	// EvidenceDeltaFallback reports that a cached pre-append set was
+	// available but could not be delta-patched — the predicate space
+	// changed structurally, the run needed vios the cached set lacks,
+	// or the append outgrew the base — forcing a scratch rebuild.
+	EvidenceDeltaFallback bool
 }
 
 // Mine runs ADCMiner (Figure 1) on the relation: generate the predicate
@@ -262,7 +274,7 @@ func Mine(rel *Relation, opts Options) (*Result, error) {
 	res := &Result{SampleRows: rel.NumRows()}
 	start := time.Now()
 
-	cached := opts.Cache.lookup(opts, popts)
+	cached, deltaSrc := opts.Cache.lookup(rel, opts, popts)
 
 	// Component 2 (sampler) runs before the space so the 30% rule and
 	// evidence see the same tuples.
@@ -318,11 +330,35 @@ func Mine(rel *Relation, opts Options) (*Result, error) {
 	if cached != nil && (cached.ev.HasVios() || !needsVios) {
 		ev = cached.ev
 	} else {
-		ev, err = builder.Build(space, needsVios)
-		if err != nil {
-			return nil, err
+		// Incremental path: the cache holds this relation's pre-append
+		// evidence (MineCache.Extend lineage), so an append of k rows
+		// costs O(k·n) pair work instead of the O(n²) rebuild — unless
+		// the space changed structurally, vios are needed but missing,
+		// or the append outgrew the base (scratch is cheaper then).
+		if deltaSrc != nil && data == rel {
+			prev := deltaSrc.ev
+			switch {
+			case needsVios && !prev.HasVios(),
+				rel.NumRows()-prev.NumRows > prev.NumRows:
+				res.EvidenceDeltaFallback = true
+			default:
+				next, dst, derr := prev.ApplyDelta(space, indexes)
+				if derr != nil {
+					res.EvidenceDeltaFallback = true
+				} else {
+					ev = next
+					res.EvidenceDelta = true
+					res.EvidenceDeltaPairs = dst.Pairs
+				}
+			}
 		}
-		opts.Cache.store(opts, popts, &mineEntry{data: data, space: space, ev: ev, sampled: data != rel})
+		if ev == nil {
+			ev, err = builder.Build(space, needsVios)
+			if err != nil {
+				return nil, err
+			}
+		}
+		opts.Cache.store(opts, popts, &mineEntry{data: data, base: rel, space: space, ev: ev, sampled: data != rel})
 	}
 	res.Evidence = ev
 	res.EvidenceTime = time.Since(t0)
@@ -384,7 +420,10 @@ func evidenceBuilder(name string, indexes *IndexStore) (evidence.Builder, error)
 // options that determine them (predicate options, sample fraction and
 // seed, evidence builder). Re-mining the same relation with a different
 // epsilon, algorithm, or approximation function then pays only for
-// enumeration. Safe for concurrent use; bound to one relation.
+// enumeration. Safe for concurrent use; bound to one relation and its
+// append lineage: after the relation grows via AppendRows, call Extend
+// and the next Mine maintains the cached evidence incrementally in
+// O(delta) instead of rebuilding it.
 type MineCache struct {
 	mu      sync.Mutex
 	entries map[string]*mineEntry
@@ -397,6 +436,16 @@ type mineEntry struct {
 	// sampled records whether data is a cache-owned sample; when false,
 	// data aliases the caller's relation and is not cache footprint.
 	sampled bool
+	// base is the caller relation the entry was built for (equal to data
+	// for full-relation entries, the sampled relation's origin
+	// otherwise); lookup validates it so a stale entry can never serve a
+	// different relation.
+	base *Relation
+	// deltaTarget, set by Extend, names the append-descendant of base
+	// that this entry's evidence can be delta-patched to. Only the
+	// newest target is kept — multi-batch appends collapse into one
+	// delta from the cached base.
+	deltaTarget *Relation
 }
 
 // NewMineCache creates an empty cache for use as Options.Cache across
@@ -420,13 +469,53 @@ func mineKey(opts Options, popts PredicateOptions) string {
 	return fmt.Sprintf("%+v|%s|%s", popts, sample, builder)
 }
 
-func (c *MineCache) lookup(opts Options, popts PredicateOptions) *mineEntry {
+// lookup returns the entry directly reusable for rel (built from this
+// very relation) or, failing that, the entry whose evidence Extend
+// marked as delta-patchable to rel. Entries for any other relation are
+// invisible — the cache can never serve stale intermediates.
+func (c *MineCache) lookup(rel *Relation, opts Options, popts PredicateOptions) (direct, deltaSrc *mineEntry) {
 	if c == nil {
-		return nil
+		return nil, nil
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.entries[mineKey(opts, popts)]
+	e := c.entries[mineKey(opts, popts)]
+	switch {
+	case e == nil:
+		return nil, nil
+	case e.base == rel:
+		return e, nil
+	case e.deltaTarget == rel && !e.sampled:
+		return nil, e
+	}
+	return nil, nil
+}
+
+// Extend informs the cache that its relation grew: old was superseded
+// by the append-derived next (dataset.Relation.AppendRows keeps row
+// order and indexes stable, which the evidence delta relies on).
+// Full-relation entries survive and are retagged so the next Mine on
+// next takes the O(delta) evidence path; sampled entries are dropped — a
+// sample of the old relation says nothing about the new one — as are
+// entries for unrelated relations.
+func (c *MineCache) Extend(old, next *Relation) {
+	if c == nil || old == next || next == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for key, e := range c.entries {
+		switch {
+		case e.base == next || e.deltaTarget == next:
+			// Already current (a concurrent mine raced ahead).
+		case e.sampled:
+			delete(c.entries, key)
+		case e.base == old || e.deltaTarget == old:
+			e.deltaTarget = next
+		default:
+			delete(c.entries, key)
+		}
+	}
 }
 
 // store publishes an entry, preferring the structurally richer evidence
@@ -439,7 +528,7 @@ func (c *MineCache) store(opts Options, popts PredicateOptions, e *mineEntry) {
 	key := mineKey(opts, popts)
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if prior, ok := c.entries[key]; ok && prior.ev.HasVios() && !e.ev.HasVios() {
+	if prior, ok := c.entries[key]; ok && prior.base == e.base && prior.ev.HasVios() && !e.ev.HasVios() {
 		return
 	}
 	c.entries[key] = e

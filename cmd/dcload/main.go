@@ -6,8 +6,11 @@
 // concurrency, in the spirit of client-side black-box checkers.
 //
 // The workload is replayable: for a fixed -seed, every client issues
-// the exact same op sequence (validate/append/register/mine drawn at
-// the -mix ratios) regardless of timing or server speed. By default
+// the exact same op sequence (validate/append/register/mine/appendmine
+// drawn at the -mix ratios; the appendmine op appends rows and then
+// mines the same dataset, timing the server's warm incremental re-mine
+// path under its own histogram) regardless of timing or server speed.
+// By default
 // clients run closed-loop (back-to-back); -qps switches to open-loop
 // scheduled arrivals with latency measured from the scheduled arrival
 // time, so an overloaded server shows up as queueing delay instead of
@@ -42,7 +45,7 @@ func main() {
 		qps         = flag.Float64("qps", 0, "open-loop aggregate arrival rate (0 = closed loop)")
 		warmup      = flag.Duration("warmup", 0, "initial window excluded from stats")
 		seed        = flag.Int64("seed", 1, "workload seed; a fixed seed replays the exact op sequence per client")
-		mixFlag     = flag.String("mix", "70/15/10/5", "validate/append/register/mine weights")
+		mixFlag     = flag.String("mix", "70/15/10/5", "validate/append/register/mine[/appendmine] weights")
 		dataset     = flag.String("dataset", "adult", "synthetic generator for base and registered datasets")
 		rows        = flag.Int("rows", 100, "rows per generated dataset")
 		datasets    = flag.Int("datasets", 0, "base datasets shared by the clients (0 = one per client)")

@@ -1,0 +1,70 @@
+package evidence_test
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"adc/internal/evidence"
+	"adc/internal/predicate"
+)
+
+// FuzzEvidenceDelta is the incremental-maintenance equivalence
+// property: for any relation, any predicate-space shape, and any split
+// of the rows into a base prefix and an appended suffix, extending the
+// base's evidence with ApplyDelta equals building the full relation's
+// evidence from scratch — sets, counts, and vios. ErrSpaceChanged is
+// the one legal escape, and only when the split genuinely changes the
+// space structure. The seed corpus (testdata/fuzz/FuzzEvidenceDelta)
+// runs on every plain `go test`; `go test -fuzz=FuzzEvidenceDelta`
+// explores further.
+func FuzzEvidenceDelta(f *testing.F) {
+	for seed := int64(0); seed < 10; seed++ {
+		f.Add(seed, byte(seed*31), byte(seed*13))
+	}
+	f.Add(int64(99), byte(0x10), byte(1))   // wide domain, minimal base
+	f.Add(int64(7), byte(0xff), byte(200))  // max columns, big append
+	f.Add(int64(42), byte(0x0b), byte(255)) // vios on, cross-column on
+	f.Fuzz(func(t *testing.T, seed int64, shape, split byte) {
+		r := rand.New(rand.NewSource(seed))
+		rel := fuzzRelation(r, shape)
+		n := rel.NumRows()
+		if n < 3 {
+			return
+		}
+		m := 2 + int(split)%(n-2) // base prefix size in [2, n-1]
+		rows := make([]int, m)
+		for i := range rows {
+			rows[i] = i
+		}
+		base := rel.Project(rows)
+		popts := fuzzPredicateOptions(shape)
+		baseSpace := predicate.Build(base, popts)
+		fullSpace := predicate.Build(rel, popts)
+		withVios := shape&8 != 0
+
+		prev, err := evidence.FastBuilder{}.Build(baseSpace, withVios)
+		if err != nil {
+			t.Fatalf("base build: %v", err)
+		}
+		got, st, err := prev.ApplyDelta(fullSpace, nil)
+		if errors.Is(err, evidence.ErrSpaceChanged) {
+			if baseSpace.SameStructure(fullSpace) {
+				t.Fatal("ErrSpaceChanged although the structure is unchanged")
+			}
+			return
+		}
+		if err != nil {
+			t.Fatalf("delta: %v", err)
+		}
+		k := int64(n - m)
+		if want := 2*k*int64(m) + k*k - k; st.Pairs != want {
+			t.Fatalf("delta pairs = %d, want %d (append %d onto %d)", st.Pairs, want, k, m)
+		}
+		scratch, err := evidence.FastBuilder{}.Build(fullSpace, withVios)
+		if err != nil {
+			t.Fatalf("scratch build: %v", err)
+		}
+		requireSameEvidence(t, scratch, got, withVios)
+	})
+}

@@ -80,6 +80,24 @@ func (t *internTable) intern(ev []uint64, h uint64) (idx int32, isNew bool) {
 	}
 }
 
+// find returns the index of ev, or -1 if it was never interned. h must
+// be bitset.HashWords(ev). The table is never full (intern grows at 3/4
+// load), so the probe always terminates at an empty slot.
+func (t *internTable) find(ev []uint64, h uint64) int32 {
+	mask := uint64(len(t.slots) - 1)
+	pos := h & mask
+	for {
+		k := t.slots[pos]
+		if k < 0 {
+			return -1
+		}
+		if t.hashes[k] == h && slices.Equal(t.key(k), ev) {
+			return k
+		}
+		pos = (pos + 1) & mask
+	}
+}
+
 // add interns ev and adds cnt to its multiplicity.
 func (t *internTable) add(ev []uint64, cnt int64) int32 {
 	idx, _ := t.intern(ev, bitset.HashWords(ev))

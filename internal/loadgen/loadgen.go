@@ -9,7 +9,7 @@
 // value generation never touches — so a fixed seed replays the exact
 // same workload, request for request, regardless of timing, worker
 // interleaving, or server speed. Clients drive register / validate /
-// append / mine traffic at the Mix ratios, either closed-loop
+// append / mine / append-then-mine traffic at the Mix ratios, either closed-loop
 // (back-to-back, the default) or open-loop (scheduled arrivals at
 // TargetQPS; latency is measured from the scheduled arrival time, so
 // a stalled server shows up as queueing delay instead of being hidden
@@ -32,34 +32,42 @@ import (
 	"time"
 )
 
-// Op kinds, in mix order.
+// Op kinds, in mix order. OpAppendMine is append-then-mine against the
+// same dataset — the op that measures the server's warm incremental
+// re-mine path (evidence maintained in O(delta) across the append)
+// under its own latency histogram. It rides last so mixes written
+// before it existed keep their op streams bit for bit (a trailing
+// zero weight never changes a draw).
 const (
 	OpValidate = iota
 	OpAppend
 	OpRegister
 	OpMine
+	OpAppendMine
 	numOps
 )
 
 // OpNames maps op kinds to their wire/report names.
-var OpNames = [numOps]string{"validate", "append", "register", "mine"}
+var OpNames = [numOps]string{"validate", "append", "register", "mine", "appendmine"}
 
 // Mix is the op-type weighting of the generated traffic. Weights are
 // relative (70/15/10/5 and 14/3/2/1 describe the same mix); a zero
 // weight disables the op type entirely.
 type Mix struct {
-	Validate int
-	Append   int
-	Register int
-	Mine     int
+	Validate   int
+	Append     int
+	Register   int
+	Mine       int
+	AppendMine int
 }
 
-// ParseMix parses "validate/append/register/mine" weights, e.g.
-// "70/15/10/5".
+// ParseMix parses "validate/append/register/mine[/appendmine]"
+// weights, e.g. "70/15/10/5" or "70/14/8/4/4". The four-part form
+// predates the appendmine op and parses with its weight zero.
 func ParseMix(s string) (Mix, error) {
 	parts := strings.Split(s, "/")
-	if len(parts) != numOps {
-		return Mix{}, fmt.Errorf("mix %q: want validate/append/register/mine, e.g. 70/15/10/5", s)
+	if len(parts) != numOps && len(parts) != numOps-1 {
+		return Mix{}, fmt.Errorf("mix %q: want validate/append/register/mine[/appendmine], e.g. 70/15/10/5 or 70/14/8/4/4", s)
 	}
 	var w [numOps]int
 	for k, p := range parts {
@@ -69,22 +77,22 @@ func ParseMix(s string) (Mix, error) {
 		}
 		w[k] = v
 	}
-	m := Mix{Validate: w[0], Append: w[1], Register: w[2], Mine: w[3]}
+	m := Mix{Validate: w[0], Append: w[1], Register: w[2], Mine: w[3], AppendMine: w[4]}
 	if m.total() == 0 {
 		return Mix{}, fmt.Errorf("mix %q: all weights are zero", s)
 	}
 	return m, nil
 }
 
-func (m Mix) total() int { return m.Validate + m.Append + m.Register + m.Mine }
+func (m Mix) total() int { return m.Validate + m.Append + m.Register + m.Mine + m.AppendMine }
 
 func (m Mix) String() string {
-	return fmt.Sprintf("%d/%d/%d/%d", m.Validate, m.Append, m.Register, m.Mine)
+	return fmt.Sprintf("%d/%d/%d/%d/%d", m.Validate, m.Append, m.Register, m.Mine, m.AppendMine)
 }
 
 // weights returns the mix in op-kind order.
 func (m Mix) weights() [numOps]int {
-	return [numOps]int{m.Validate, m.Append, m.Register, m.Mine}
+	return [numOps]int{m.Validate, m.Append, m.Register, m.Mine, m.AppendMine}
 }
 
 // Spec configures a load run. BaseURL, and either Duration or

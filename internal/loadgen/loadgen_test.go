@@ -16,10 +16,17 @@ func TestParseMix(t *testing.T) {
 	if m != (Mix{Validate: 70, Append: 15, Register: 10, Mine: 5}) {
 		t.Fatalf("mix = %+v", m)
 	}
-	if m.String() != "70/15/10/5" {
+	if m.String() != "70/15/10/5/0" {
 		t.Fatalf("String = %q", m.String())
 	}
-	for _, bad := range []string{"", "70/15/10", "70/15/10/5/1", "a/b/c/d", "-1/1/1/1", "0/0/0/0"} {
+	m5, err := ParseMix("70/14/8/4/4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m5 != (Mix{Validate: 70, Append: 14, Register: 8, Mine: 4, AppendMine: 4}) {
+		t.Fatalf("five-part mix = %+v", m5)
+	}
+	for _, bad := range []string{"", "70/15/10", "70/15/10/5/1/2", "a/b/c/d", "-1/1/1/1", "0/0/0/0", "0/0/0/0/0"} {
 		if _, err := ParseMix(bad); err == nil {
 			t.Errorf("ParseMix(%q) accepted", bad)
 		}
@@ -66,7 +73,7 @@ func TestOpSequenceDeterministic(t *testing.T) {
 }
 
 func TestOpSequenceFollowsMix(t *testing.T) {
-	mix := Mix{Validate: 70, Append: 15, Register: 10, Mine: 5}
+	mix := Mix{Validate: 70, Append: 14, Register: 8, Mine: 4, AppendMine: 4}
 	counts := map[string]int{}
 	const n = 20000
 	for _, op := range OpSequence(7, 1, n, mix) {

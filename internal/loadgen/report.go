@@ -110,7 +110,7 @@ func fmtUS(v float64) string {
 
 // WriteTable renders the human-readable report.
 func (r *Report) WriteTable(w io.Writer) {
-	fmt.Fprintf(w, "dcload: %d clients, mix %s (validate/append/register/mine), %s, seed %d\n",
+	fmt.Fprintf(w, "dcload: %d clients, mix %s (validate/append/register/mine/appendmine), %s, seed %d\n",
 		r.Concurrency, r.Mix, r.Mode, r.Seed)
 	fmt.Fprintf(w, "dataset %s x%d rows, %d base dataset(s), warmup %.1fs, measured %.1fs\n",
 		r.Dataset, r.Rows, r.Datasets, r.WarmupS, r.DurationS)

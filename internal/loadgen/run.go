@@ -298,27 +298,7 @@ func (rs *runState) execute(kind int, own *baseDataset, valRNG *rand.Rand, st *c
 		return code, nil
 
 	case OpAppend:
-		n := 1 + valRNG.Intn(3)
-		rows := make([][]string, n)
-		for r := range rows {
-			rows[r] = randomRow(own.colTypes, valRNG)
-		}
-		hwBefore := own.hw.Load()
-		resp, code, err := rs.api.appendRows(own.id, rows)
-		if err != nil {
-			if code == 0 {
-				own.appendTransportErrs.Add(1)
-			}
-			return code, err
-		}
-		own.appended.Add(int64(n))
-		// The response reports rows after this append: at least the
-		// pre-issue high water plus what we just added.
-		if !own.observeRows(resp.Rows, hwBefore+int64(n)) {
-			st.consViol++
-			st.errKinds["append_not_reflected"]++
-		}
-		return code, nil
+		return rs.appendRows(own, valRNG, st)
 
 	case OpRegister:
 		info, code, err := rs.api.register(spec.Dataset, spec.Rows, valRNG.Int63())
@@ -328,39 +308,82 @@ func (rs *runState) execute(kind int, own *baseDataset, valRNG *rand.Rand, st *c
 		*createdIDs = append(*createdIDs, info.ID)
 		return code, nil
 
-	default: // OpMine
-		ds := rs.base[valRNG.Intn(len(rs.base))]
-		jobID, code, err := rs.api.mineSubmit(ds.id, mineReq{
-			Epsilon:       spec.Epsilon,
-			MaxPredicates: spec.MaxPredicates,
-			Seed:          valRNG.Int63(),
-		})
+	case OpAppendMine:
+		// Append-then-mine against the client's own dataset: one op, one
+		// histogram, covering the warm re-mine path end to end — the
+		// server keeps its mining cache across the append and maintains
+		// evidence incrementally, so this latency is the user-visible
+		// cost of continuous mining on a growing dataset.
+		code, err := rs.appendRows(own, valRNG, st)
 		if err != nil {
 			return code, err
 		}
-		// The mine op completes when the async job does: poll until a
-		// terminal state so op latency covers the analytical work, not
-		// just the enqueue.
-		waitDeadline := time.Now().Add(spec.Timeout)
-		for {
-			time.Sleep(pollInterval)
-			st.polls++
-			job, jcode, jerr := rs.api.jobGet(jobID)
-			if jerr != nil {
-				return jcode, jerr
-			}
-			switch job.State {
-			case "done":
-				return code, nil
-			case "failed":
-				st.mineJobF++
-				st.errKinds["mine_job"]++
-				return code, fmt.Errorf("mine job %s failed: %s", jobID, job.Error)
-			}
-			if time.Now().After(waitDeadline) {
-				st.errKinds["mine_timeout"]++
-				return code, fmt.Errorf("mine job %s still running after %s", jobID, spec.Timeout)
-			}
+		return rs.mineAndWait(own, valRNG, st)
+
+	default: // OpMine
+		ds := rs.base[valRNG.Intn(len(rs.base))]
+		return rs.mineAndWait(ds, valRNG, st)
+	}
+}
+
+// appendRows issues one append of 1-3 random rows to ds, running the
+// monotonicity leg of the verifier on the response.
+func (rs *runState) appendRows(ds *baseDataset, valRNG *rand.Rand, st *clientStats) (int, error) {
+	n := 1 + valRNG.Intn(3)
+	rows := make([][]string, n)
+	for r := range rows {
+		rows[r] = randomRow(ds.colTypes, valRNG)
+	}
+	hwBefore := ds.hw.Load()
+	resp, code, err := rs.api.appendRows(ds.id, rows)
+	if err != nil {
+		if code == 0 {
+			ds.appendTransportErrs.Add(1)
+		}
+		return code, err
+	}
+	ds.appended.Add(int64(n))
+	// The response reports rows after this append: at least the
+	// pre-issue high water plus what we just added.
+	if !ds.observeRows(resp.Rows, hwBefore+int64(n)) {
+		st.consViol++
+		st.errKinds["append_not_reflected"]++
+	}
+	return code, nil
+}
+
+// mineAndWait submits a mine job on ds and polls it to a terminal
+// state, so op latency covers the analytical work, not just the
+// enqueue.
+func (rs *runState) mineAndWait(ds *baseDataset, valRNG *rand.Rand, st *clientStats) (int, error) {
+	spec := rs.spec
+	jobID, code, err := rs.api.mineSubmit(ds.id, mineReq{
+		Epsilon:       spec.Epsilon,
+		MaxPredicates: spec.MaxPredicates,
+		Seed:          valRNG.Int63(),
+	})
+	if err != nil {
+		return code, err
+	}
+	waitDeadline := time.Now().Add(spec.Timeout)
+	for {
+		time.Sleep(pollInterval)
+		st.polls++
+		job, jcode, jerr := rs.api.jobGet(jobID)
+		if jerr != nil {
+			return jcode, jerr
+		}
+		switch job.State {
+		case "done":
+			return code, nil
+		case "failed":
+			st.mineJobF++
+			st.errKinds["mine_job"]++
+			return code, fmt.Errorf("mine job %s failed: %s", jobID, job.Error)
+		}
+		if time.Now().After(waitDeadline) {
+			st.errKinds["mine_timeout"]++
+			return code, fmt.Errorf("mine job %s still running after %s", jobID, spec.Timeout)
 		}
 	}
 }

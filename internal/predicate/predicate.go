@@ -420,3 +420,25 @@ func mirror(op Operator) Operator {
 
 // String renders predicate id in the paper's notation.
 func (s *Space) String(id int) string { return s.Spec(id).String() }
+
+// SameStructure reports whether two spaces enumerate the same predicate
+// sequence — identical (A, B, Op, Cross) at every ID — which is the
+// condition for evidence bitsets built against s to keep their meaning
+// against other. The 30% shared-values rule makes Build data-dependent,
+// so appending rows can change the structure; incremental evidence
+// maintenance checks this before patching a cached set and falls back
+// to a scratch build when it fails.
+func (s *Space) SameStructure(other *Space) bool {
+	if s == nil || other == nil {
+		return s == other
+	}
+	if len(s.Preds) != len(other.Preds) {
+		return false
+	}
+	for i := range s.Preds {
+		if s.Preds[i] != other.Preds[i] {
+			return false
+		}
+	}
+	return true
+}

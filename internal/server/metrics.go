@@ -4,6 +4,7 @@ import (
 	"sort"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -128,4 +129,32 @@ func (m *metrics) snapshot() (requests map[string]int64, statuses map[string]int
 		}
 	}
 	return requests, statuses, latency
+}
+
+// deltaMetrics tracks incremental evidence maintenance server-wide:
+// mines served by patching a cached pre-append evidence set (builds and
+// the ordered pairs those deltas recomputed) versus appends whose cached
+// set could not be patched and fell back to an O(n²) scratch rebuild.
+type deltaMetrics struct {
+	builds    atomic.Int64
+	pairs     atomic.Int64
+	fallbacks atomic.Int64
+}
+
+func (d *deltaMetrics) observe(delta bool, pairs int64, fallback bool) {
+	if delta {
+		d.builds.Add(1)
+		d.pairs.Add(pairs)
+	}
+	if fallback {
+		d.fallbacks.Add(1)
+	}
+}
+
+func (d *deltaMetrics) snapshot() map[string]int64 {
+	return map[string]int64{
+		"builds":    d.builds.Load(),
+		"pairs":     d.pairs.Load(),
+		"fallbacks": d.fallbacks.Load(),
+	}
 }

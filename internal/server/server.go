@@ -96,6 +96,7 @@ type Server struct {
 	reg     *registry
 	jobs    *jobStore
 	met     *metrics
+	delta   deltaMetrics
 	mux     *http.ServeMux
 	started time.Time
 }
@@ -636,6 +637,11 @@ type mineResult struct {
 	TotalMS    float64  `json:"total_ms"`
 	EnumCalls  int64    `json:"enum_calls"`
 	LossEvals  int64    `json:"loss_evals"`
+	// EvidenceDelta and EvidenceDeltaPairs report incremental evidence
+	// maintenance: this mine patched the cached pre-append set in
+	// O(delta) pair work instead of rebuilding O(n²) evidence.
+	EvidenceDelta      bool  `json:"evidence_delta,omitempty"`
+	EvidenceDeltaPairs int64 `json:"evidence_delta_pairs,omitempty"`
 }
 
 func (s *Server) handleMine(w http.ResponseWriter, r *http.Request) {
@@ -679,6 +685,7 @@ func (s *Server) runMine(j *job, sess *session, opts adc.Options) {
 		return
 	}
 	sess.observeEvidence(res.EvidenceTime, res.Evidence.Distinct())
+	s.delta.observe(res.EvidenceDelta, res.EvidenceDeltaPairs, res.EvidenceDeltaFallback)
 	adc.SortDCs(res.DCs)
 	out := &mineResult{
 		NumDCs:     len(res.DCs),
@@ -690,6 +697,9 @@ func (s *Server) runMine(j *job, sess *session, opts adc.Options) {
 		TotalMS:    float64(res.Total) / float64(time.Millisecond),
 		EnumCalls:  res.EnumCalls,
 		LossEvals:  res.LossEvals,
+
+		EvidenceDelta:      res.EvidenceDelta,
+		EvidenceDeltaPairs: res.EvidenceDeltaPairs,
 	}
 	for _, dc := range res.DCs {
 		out.DCs = append(out.DCs, dc.String())
@@ -753,8 +763,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 			"mem_bytes": memBytes,
 			"evictions": evictions,
 		},
-		"evidence":    evidence,
-		"storage":     s.reg.storageStats(),
-		"jobs_active": s.jobs.running(),
+		"evidence":       evidence,
+		"evidence_delta": s.delta.snapshot(),
+		"storage":        s.reg.storageStats(),
+		"jobs_active":    s.jobs.running(),
 	})
 }

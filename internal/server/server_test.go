@@ -641,3 +641,82 @@ func TestScanPathForced(t *testing.T) {
 		t.Errorf("scan violations = %v, want 4", dc["violations"])
 	}
 }
+
+// TestMineDeltaMetrics drives the incremental evidence path end to end
+// over HTTP — mine, append, warm re-mine — and asserts the new
+// evidence_delta block in /metrics (builds, pairs, fallbacks) plus the
+// per-job delta fields, mirroring the per-stage latency assertions of
+// TestMineJob.
+func TestMineDeltaMetrics(t *testing.T) {
+	_, ts := testServer(t, Config{})
+	c := ts.Client()
+
+	csv := "Zip,State,Salary\n10001,NY,50\n10001,NY,60\n90210,CA,80\n90210,CA,55\n30301,GA,70\n30301,GA,75\n"
+	id := ingestCSV(t, c, ts.URL, csv)
+	mine := func() map[string]any {
+		code, resp := call(t, c, "POST", ts.URL+"/datasets/"+id+"/mine",
+			map[string]any{"approx": "f1", "epsilon": 0.05, "max_predicates": 2})
+		if code != http.StatusAccepted {
+			t.Fatalf("mine: status %d: %v", code, resp)
+		}
+		resp = pollJob(t, c, ts.URL, resp["job"].(string))
+		if resp["state"].(string) != jobDone {
+			t.Fatalf("mine job state = %v (%v)", resp["state"], resp["error"])
+		}
+		return resp["result"].(map[string]any)
+	}
+
+	cold := mine()
+	if d, _ := cold["evidence_delta"].(bool); d {
+		t.Fatalf("cold mine claims the delta path: %v", cold)
+	}
+
+	// Append rows whose values all exist (the predicate space cannot
+	// change structurally), then re-mine: the session's cache survived
+	// the append and the mine patches its evidence in O(delta).
+	code, resp := call(t, c, "POST", ts.URL+"/datasets/"+id+"/rows",
+		map[string]any{"rows": [][]string{{"10001", "CA", "80"}, {"90210", "NY", "55"}}})
+	if code != http.StatusOK {
+		t.Fatalf("append: status %d: %v", code, resp)
+	}
+	warm := mine()
+	if d, _ := warm["evidence_delta"].(bool); !d {
+		t.Fatalf("post-append mine did not take the delta path: %v", warm)
+	}
+	// 6 old rows, 2 appended: 2·k·(n−k) + k(k−1) = 2·2·6 + 2 = 26.
+	if p := warm["evidence_delta_pairs"].(float64); p != 26 {
+		t.Errorf("evidence_delta_pairs = %v, want 26", p)
+	}
+	code, resp = call(t, c, "GET", ts.URL+"/metrics", nil)
+	if code != 200 {
+		t.Fatalf("metrics: status %d", code)
+	}
+	ed, ok := resp["evidence_delta"].(map[string]any)
+	if !ok {
+		t.Fatalf("metrics has no evidence_delta section: %v", resp)
+	}
+	if builds := ed["builds"].(float64); builds != 1 {
+		t.Errorf("evidence_delta builds = %v, want 1", builds)
+	}
+	if pairs := ed["pairs"].(float64); pairs != 26 {
+		t.Errorf("evidence_delta pairs = %v, want 26", pairs)
+	}
+	if fb := ed["fallbacks"].(float64); fb != 0 {
+		t.Errorf("evidence_delta fallbacks = %v, want 0", fb)
+	}
+
+	// The escape hatch still drops everything: after invalidate, the
+	// next mine is a scratch build again — and, mining the same grown
+	// relation, it must find exactly the DCs the delta path found.
+	if code, _ := call(t, c, "POST", ts.URL+"/datasets/"+id+"/invalidate", nil); code != 200 {
+		t.Fatalf("invalidate: status %d", code)
+	}
+	after := mine()
+	if d, _ := after["evidence_delta"].(bool); d {
+		t.Errorf("mine after invalidate still claims the delta path")
+	}
+	if after["num_dcs"] != warm["num_dcs"] {
+		t.Errorf("delta-path mine found %v DCs, scratch mine of the same relation %v",
+			warm["num_dcs"], after["num_dcs"])
+	}
+}

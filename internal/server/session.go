@@ -95,8 +95,9 @@ func (s *session) state() (*adc.Checker, *adc.MineCache) {
 // append grows the relation by the given records. Column PLIs are
 // patched where the appended values allow and dropped otherwise (see
 // pli.Store.Extend); compiled DC plans are recompiled lazily; the
-// mining cache — whose evidence sets are pairwise and cannot be
-// patched — starts over.
+// mining cache survives — its full-relation evidence entries are
+// retagged (adc.MineCache.Extend) so the next mine maintains them
+// incrementally in O(delta) instead of rebuilding O(n²) evidence.
 func (s *session) append(records [][]string) (rows, patched, dropped int, err error) {
 	s.appendMu.Lock()
 	defer s.appendMu.Unlock()
@@ -112,7 +113,7 @@ func (s *session) append(records [][]string) (rows, patched, dropped int, err er
 	}
 	s.mu.Lock()
 	s.checker = next
-	s.mine = adc.NewMineCache()
+	s.mine.Extend(cur.Relation(), next.Relation())
 	s.appends++
 	s.mu.Unlock()
 	return next.Relation().NumRows(), patched, dropped, nil

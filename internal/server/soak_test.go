@@ -28,7 +28,7 @@ func TestSoakLoadgenInProcess(t *testing.T) {
 		Requests:    240,
 		Warmup:      50 * time.Millisecond,
 		Seed:        11,
-		Mix:         loadgen.Mix{Validate: 70, Append: 15, Register: 10, Mine: 5},
+		Mix:         loadgen.Mix{Validate: 70, Append: 14, Register: 8, Mine: 4, AppendMine: 4},
 		Dataset:     "adult",
 		Rows:        60,
 		Datasets:    4, // fewer datasets than clients: concurrent appends to shared sessions
@@ -69,8 +69,10 @@ func TestSoakLoadgenInProcess(t *testing.T) {
 	requests, statuses, _ := s.met.snapshot()
 	wantCounts := map[string]int64{
 		"POST /datasets/{id}/validate": rep.Ops["validate"].Attempts,
-		"POST /datasets/{id}/rows":     rep.Ops["append"].Attempts,
-		"POST /datasets/{id}/mine":     rep.Ops["mine"].Attempts,
+		// An appendmine op is one append request followed by one mine
+		// submit, so it contributes to both route counters.
+		"POST /datasets/{id}/rows": rep.Ops["append"].Attempts + rep.Ops["appendmine"].Attempts,
+		"POST /datasets/{id}/mine": rep.Ops["mine"].Attempts + rep.Ops["appendmine"].Attempts,
 		// Registrations: the run's register ops plus the 4 base datasets.
 		"POST /datasets": rep.Ops["register"].Attempts + 4,
 		// Job polling traffic, counted by the client outside throughput.

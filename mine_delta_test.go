@@ -1,0 +1,224 @@
+package adc
+
+import (
+	"reflect"
+	"testing"
+)
+
+// appendRecords renders rows [lo, hi) of rel as AppendRows records.
+func appendRecords(rel *Relation, lo, hi int) [][]string {
+	out := make([][]string, 0, hi-lo)
+	for i := lo; i < hi; i++ {
+		rec := make([]string, len(rel.Columns))
+		for j, c := range rel.Columns {
+			rec[j] = c.ValueString(i)
+		}
+		out = append(out, rec)
+	}
+	return out
+}
+
+// prefixRelation returns the first m rows of rel.
+func prefixRelation(rel *Relation, m int) *Relation {
+	rows := make([]int, m)
+	for i := range rows {
+		rows[i] = i
+	}
+	return rel.Project(rows)
+}
+
+// TestMineDeltaPath drives the full incremental contract through Mine:
+// after MineCache.Extend, a post-append mine takes the delta path
+// (O(delta) pairs, reported in the result), produces exactly the DCs a
+// scratch mine produces, repeats across multi-batch appends, and later
+// compatible mines reuse the delta-maintained set by pointer.
+func TestMineDeltaPath(t *testing.T) {
+	ds, err := GenerateDataset("adult", 100, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := ds.Rel
+	base := prefixRelation(full, 80)
+	cache := NewMineCache()
+	opts := Options{Approx: "f2", Epsilon: 0.05, MaxPredicates: 2, Cache: cache}
+
+	if _, err := Mine(base, opts); err != nil {
+		t.Fatal(err)
+	}
+	cur := base
+	for _, grow := range []int{10, 10} {
+		next, err := cur.AppendRows(appendRecords(full, cur.NumRows(), cur.NumRows()+grow))
+		if err != nil {
+			t.Fatal(err)
+		}
+		cache.Extend(cur, next)
+		res, err := Mine(next, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.EvidenceDelta || res.EvidenceDeltaFallback {
+			t.Fatalf("append to %d rows: delta=%v fallback=%v, want the delta path",
+				next.NumRows(), res.EvidenceDelta, res.EvidenceDeltaFallback)
+		}
+		k, n := int64(grow), int64(next.NumRows())
+		if want := 2*k*(n-k) + k*k - k; res.EvidenceDeltaPairs != want {
+			t.Fatalf("delta pairs = %d, want %d", res.EvidenceDeltaPairs, want)
+		}
+		scratch, err := Mine(next, Options{Approx: "f2", Epsilon: 0.05, MaxPredicates: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		SortDCs(res.DCs)
+		SortDCs(scratch.DCs)
+		if !reflect.DeepEqual(dcStrings(res.DCs), dcStrings(scratch.DCs)) {
+			t.Fatalf("delta-path mine diverged from scratch:\n%v\nvs\n%v",
+				dcStrings(res.DCs), dcStrings(scratch.DCs))
+		}
+
+		// A compatible re-mine is a direct hit on the delta-built set.
+		again, err := Mine(next, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if again.Evidence != res.Evidence || again.EvidenceDelta {
+			t.Fatalf("re-mine after delta: reuse=%v delta=%v, want pointer reuse without a new delta",
+				again.Evidence == res.Evidence, again.EvidenceDelta)
+		}
+		cur = next
+	}
+}
+
+// TestMineDeltaGoldens reaches the golden datasets' mined-DC sets via
+// the delta path and requires them to match scratch mines bit for bit,
+// with the same per-case epsilon/function knobs as the golden suite
+// (minus sampling, which the delta path by design never serves).
+func TestMineDeltaGoldens(t *testing.T) {
+	cases := []struct {
+		dataset string
+		opts    Options
+	}{
+		{"adult", Options{Approx: "f1", Epsilon: 0.02, MaxPredicates: 3}},
+		{"tax", Options{Approx: "f1", Epsilon: 0.01, MaxPredicates: 2}},
+		{"hospital", Options{Approx: "f2", Epsilon: 0.05, MaxPredicates: 2}},
+	}
+	for _, c := range cases {
+		t.Run(c.dataset, func(t *testing.T) {
+			ds, err := GenerateDataset(c.dataset, 120, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			base := prefixRelation(ds.Rel, 100)
+			next, err := base.AppendRows(appendRecords(ds.Rel, 100, 120))
+			if err != nil {
+				t.Fatal(err)
+			}
+			cache := NewMineCache()
+			opts := c.opts
+			opts.Cache = cache
+			if _, err := Mine(base, opts); err != nil {
+				t.Fatal(err)
+			}
+			cache.Extend(base, next)
+			res, err := Mine(next, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.EvidenceDelta {
+				t.Fatalf("delta path not taken (fallback=%v)", res.EvidenceDeltaFallback)
+			}
+			scratch, err := Mine(next, c.opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			SortDCs(res.DCs)
+			SortDCs(scratch.DCs)
+			if !reflect.DeepEqual(dcStrings(res.DCs), dcStrings(scratch.DCs)) {
+				t.Fatalf("delta-path DCs diverge from scratch:\n%v\nvs\n%v",
+					dcStrings(res.DCs), dcStrings(scratch.DCs))
+			}
+		})
+	}
+}
+
+// TestMineDeltaFallbacks pins the scratch escapes: a vios-needing run
+// over a vios-free cached base, and an append that outgrows the base,
+// both rebuild from scratch and say so in the result.
+func TestMineDeltaFallbacks(t *testing.T) {
+	ds, err := GenerateDataset("tax", 80, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := prefixRelation(ds.Rel, 60)
+	next, err := base.AppendRows(appendRecords(ds.Rel, 60, 80))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache := NewMineCache()
+	if _, err := Mine(base, Options{Approx: "f1", MaxPredicates: 2, Cache: cache}); err != nil {
+		t.Fatal(err)
+	}
+	cache.Extend(base, next)
+	res, err := Mine(next, Options{Approx: "f2", Epsilon: 0.05, MaxPredicates: 2, Cache: cache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.EvidenceDelta || !res.EvidenceDeltaFallback {
+		t.Fatalf("vios-needing run: delta=%v fallback=%v, want a counted scratch fallback",
+			res.EvidenceDelta, res.EvidenceDeltaFallback)
+	}
+
+	// Outgrown base: appending more rows than the base holds.
+	small := prefixRelation(ds.Rel, 20)
+	grown, err := small.AppendRows(appendRecords(ds.Rel, 20, 80))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache2 := NewMineCache()
+	if _, err := Mine(small, Options{Approx: "f1", MaxPredicates: 2, Cache: cache2}); err != nil {
+		t.Fatal(err)
+	}
+	cache2.Extend(small, grown)
+	res2, err := Mine(grown, Options{Approx: "f1", MaxPredicates: 2, Cache: cache2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.EvidenceDelta || !res2.EvidenceDeltaFallback {
+		t.Fatalf("outgrown base: delta=%v fallback=%v, want a counted scratch fallback",
+			res2.EvidenceDelta, res2.EvidenceDeltaFallback)
+	}
+}
+
+// TestMineCacheForeignRelation: after Extend, neither the old entry nor
+// its delta tag may serve an unrelated relation with the same options.
+func TestMineCacheForeignRelation(t *testing.T) {
+	ds, err := GenerateDataset("hospital", 60, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	other, err := GenerateDataset("hospital", 60, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache := NewMineCache()
+	opts := Options{Approx: "f1", Epsilon: 0.01, MaxPredicates: 2, Cache: cache}
+	first, err := Mine(ds.Rel, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	foreign, err := Mine(other.Rel, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if foreign.Evidence == first.Evidence || foreign.EvidenceDelta {
+		t.Fatal("cache served a different relation's evidence")
+	}
+	fresh, err := Mine(other.Rel, Options{Approx: "f1", Epsilon: 0.01, MaxPredicates: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	SortDCs(foreign.DCs)
+	SortDCs(fresh.DCs)
+	if !reflect.DeepEqual(dcStrings(foreign.DCs), dcStrings(fresh.DCs)) {
+		t.Fatal("foreign-relation mine through a stale cache changed output")
+	}
+}
