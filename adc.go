@@ -591,13 +591,22 @@ type (
 	// RepairResult is the outcome of Repair: the tuples to delete and
 	// the repaired relation.
 	RepairResult = violation.RepairResult
+	// PlanExplain is the executed query plan of one DC: shape, join
+	// cascade, pushed-down range predicate, residual order, and
+	// estimated vs. examined candidate pairs.
+	PlanExplain = violation.PlanExplain
 )
 
-// Execution paths for CheckOptions.Path.
+// Execution paths for CheckOptions.Path. AutoPath runs the greedy
+// cost-ordered planner (PlannerPath is a synonym); BinaryPath is the
+// historical two-way join-or-scan heuristic kept for comparison.
 const (
-	AutoPath = violation.PathAuto
-	PLIPath  = violation.PathPLI
-	ScanPath = violation.PathScan
+	AutoPath    = violation.PathAuto
+	PlannerPath = violation.PathPlanner
+	PLIPath     = violation.PathPLI
+	RangePath   = violation.PathRange
+	ScanPath    = violation.PathScan
+	BinaryPath  = violation.PathBinary
 )
 
 // Checker binds a relation to reusable checking state: per-column

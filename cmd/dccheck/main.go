@@ -12,6 +12,7 @@
 //	dccheck -input data.csv -dc "not(t.Zip = t'.Zip and t.State != t'.State)"
 //	dccheck -input data.csv -dcs constraints.txt -eps 0.01 -approx f1
 //	dccheck -input data.csv -mine -eps 0.001 -repair -json
+//	dccheck -input data.csv -dcs c.txt -explain                  # print per-DC query plans
 //	dccheck -input data.csv -dcs c.txt -save-snapshot data.adcs  # persist columns + PLIs
 //	dccheck -load-snapshot data.adcs -dcs c.txt                  # re-check without ingest
 //
@@ -64,6 +65,7 @@ type config struct {
 	maxPairs int
 	top      int
 	repair   bool
+	explain  bool
 	asJSON   bool
 	ingestW  int
 	chunk    int
@@ -82,11 +84,12 @@ func main() {
 	flag.Float64Var(&cfg.eps, "eps", 0, "pass a DC when its loss is at most eps (0 = require no violations); also the mining threshold with -mine")
 	flag.IntVar(&cfg.maxPreds, "max-preds", 4, "maximum predicates per mined DC (-mine)")
 	flag.Int64Var(&cfg.seed, "seed", 1, "mining seed (-mine)")
-	flag.StringVar(&cfg.path, "path", "auto", "execution path: auto, pli, or scan")
+	flag.StringVar(&cfg.path, "path", "auto", "execution path: auto (planner), pli, range, scan, or binary")
 	flag.IntVar(&cfg.workers, "workers", 0, "worker goroutines per DC (0 = GOMAXPROCS)")
 	flag.IntVar(&cfg.maxPairs, "max-pairs", 10, "violating pairs shown per DC (0 = all)")
 	flag.IntVar(&cfg.top, "top", 5, "dirtiest tuples shown (0 = none)")
 	flag.BoolVar(&cfg.repair, "repair", false, "compute a greedy repair set")
+	flag.BoolVar(&cfg.explain, "explain", false, "print each DC's query plan (shape, join order, estimated vs. examined pairs)")
 	flag.BoolVar(&cfg.asJSON, "json", false, "emit a JSON report instead of text")
 	flag.IntVar(&cfg.ingestW, "ingest-workers", 0, "CSV ingest parse workers (0 = GOMAXPROCS)")
 	flag.IntVar(&cfg.chunk, "chunk-rows", 0, "CSV ingest rows per parse chunk (0 = default)")
@@ -291,6 +294,9 @@ func printText(out io.Writer, rep *adc.ViolationReport, verdicts []adc.DCValidat
 		}
 		fmt.Fprintf(out, "[%s %s=%.4g] %s  (%d pairs via %s)\n",
 			verdict, cfg.fn, verdicts[k].Loss, res.Spec, res.Violations, res.Path)
+		if cfg.explain && res.Plan != nil {
+			fmt.Fprintf(out, "    plan: %s\n", formatPlan(res.Plan))
+		}
 		if pairs, truncated := shownPairs(res, cfg.maxPairs); len(pairs) > 0 {
 			parts := make([]string, len(pairs))
 			for i, p := range pairs {
@@ -318,19 +324,40 @@ func printText(out io.Writer, rep *adc.ViolationReport, verdicts []adc.DCValidat
 	}
 }
 
+// formatPlan renders a query plan on one line: the executor shape, the
+// equality cascade, the pushed-down order predicate, the residual
+// refutation order, and the planner's estimate against what actually
+// ran.
+func formatPlan(p *adc.PlanExplain) string {
+	var b strings.Builder
+	b.WriteString(p.Shape)
+	if len(p.JoinCols) > 0 {
+		fmt.Fprintf(&b, " join[%s]", strings.Join(p.JoinCols, " -> "))
+	}
+	if p.Range != "" {
+		fmt.Fprintf(&b, " range[%s]", p.Range)
+	}
+	if len(p.Residual) > 0 {
+		fmt.Fprintf(&b, " residual[%s]", strings.Join(p.Residual, ", "))
+	}
+	fmt.Fprintf(&b, " est=%d examined=%d", p.EstPairs, p.ActualPairs)
+	return b.String()
+}
+
 // ---- JSON report ---------------------------------------------------------
 
 type jsonDC struct {
-	DC         string   `json:"dc"`
-	Violations int64    `json:"violations"`
-	LossF1     float64  `json:"loss_f1"`
-	LossF2     float64  `json:"loss_f2"`
-	LossF3     float64  `json:"loss_f3"`
-	Loss       float64  `json:"loss"`
-	OK         bool     `json:"ok"`
-	Path       string   `json:"path"`
-	Pairs      [][2]int `json:"pairs,omitempty"`
-	Truncated  bool     `json:"pairs_truncated,omitempty"`
+	DC         string           `json:"dc"`
+	Violations int64            `json:"violations"`
+	LossF1     float64          `json:"loss_f1"`
+	LossF2     float64          `json:"loss_f2"`
+	LossF3     float64          `json:"loss_f3"`
+	Loss       float64          `json:"loss"`
+	OK         bool             `json:"ok"`
+	Path       string           `json:"path"`
+	Plan       *adc.PlanExplain `json:"plan,omitempty"`
+	Pairs      [][2]int         `json:"pairs,omitempty"`
+	Truncated  bool             `json:"pairs_truncated,omitempty"`
 }
 
 type jsonTuple struct {
@@ -363,7 +390,7 @@ func printJSON(w io.Writer, rep *adc.ViolationReport, verdicts []adc.DCValidatio
 	}
 	for k, res := range rep.Results {
 		pairs, truncated := shownPairs(res, cfg.maxPairs)
-		out.DCs = append(out.DCs, jsonDC{
+		dc := jsonDC{
 			DC:         res.Spec.String(),
 			Violations: res.Violations,
 			LossF1:     res.LossF1,
@@ -374,7 +401,11 @@ func printJSON(w io.Writer, rep *adc.ViolationReport, verdicts []adc.DCValidatio
 			Path:       res.Path,
 			Pairs:      pairs,
 			Truncated:  truncated,
-		})
+		}
+		if cfg.explain {
+			dc.Plan = res.Plan
+		}
+		out.DCs = append(out.DCs, dc)
 	}
 	if cfg.top > 0 {
 		for _, tc := range rep.TopViolating(cfg.top) {

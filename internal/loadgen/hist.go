@@ -3,7 +3,7 @@ package loadgen
 import "time"
 
 // histBounds are the latency bucket upper bounds: 1.25x-spaced from
-// 10µs to ~2.6 minutes (66 buckets), the final implicit bucket is +Inf.
+// 10µs to ~2.5 minutes (75 buckets), the final implicit bucket is +Inf.
 // Finer than the server's serving histogram because a load report's
 // p95/p99 are the headline numbers — a 1.25x grid bounds quantile
 // error at 25% where a 2x grid would allow 100%.
@@ -38,8 +38,8 @@ func (h *Histogram) observe(d time.Duration) {
 	if d < 0 {
 		d = 0
 	}
-	// Branch-free lower_bound is overkill here; a linear scan would be
-	// too slow at 66 buckets × every request, so binary search.
+	// Binary search for the bucket: a linear scan over 75 bounds on
+	// every request would dominate the client's bookkeeping cost.
 	lo, hi := 0, len(histBounds)
 	for lo < hi {
 		mid := (lo + hi) / 2

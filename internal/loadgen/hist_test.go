@@ -6,6 +6,25 @@ import (
 	"time"
 )
 
+// TestHistogramBucketCount pins the bucket grid so the hist.go header
+// comment cannot drift from the code again: 75 explicit 1.25x-spaced
+// bounds from 10µs to under 160s, plus the implicit +Inf bucket.
+func TestHistogramBucketCount(t *testing.T) {
+	if got := len(histBounds); got != 75 {
+		t.Fatalf("len(histBounds) = %d, want 75", got)
+	}
+	if histBounds[0] != 10*time.Microsecond {
+		t.Errorf("first bound = %v, want 10µs", histBounds[0])
+	}
+	last := histBounds[len(histBounds)-1]
+	if last >= 160*time.Second || last < 128*time.Second {
+		t.Errorf("last bound = %v, want in [128s, 160s)", last)
+	}
+	if got := len(newHistogram().buckets); got != 76 {
+		t.Errorf("bucket slots = %d, want 76 (75 bounds + overflow)", got)
+	}
+}
+
 func TestHistogramBasics(t *testing.T) {
 	h := newHistogram()
 	if h.Count() != 0 || h.Quantile(0.99) != 0 || h.Mean() != 0 || h.Max() != 0 {

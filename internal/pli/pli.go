@@ -249,13 +249,25 @@ func (idx *Index) MemBytes() int64 {
 // MergedRanks dense-ranks two numeric columns within their merged value
 // domain, so that comparing row i of a against row j of b reduces to
 // comparing ra[i] with rb[j]. Both columns must be numeric.
+//
+// NaN occurrences follow the per-column index contract (ForColumn, as
+// pinned by TestForColumnNaN): every NaN ranks before every number and
+// each occurrence gets its own unique rank, so ra[i] == rb[j] never
+// holds when either side is NaN — matching Operator.EvalNum, under
+// which NaN equals nothing, itself included. (sort.SearchFloat64s
+// would instead send every NaN to the same out-of-range rank, making
+// all NaNs spuriously equal to each other.)
 func MergedRanks(a, b *dataset.Column) (ra, rb []int32) {
 	vals := make([]float64, 0, a.Len()+b.Len())
-	for i := 0; i < a.Len(); i++ {
-		vals = append(vals, a.Num(i))
-	}
-	for i := 0; i < b.Len(); i++ {
-		vals = append(vals, b.Num(i))
+	nans := 0
+	for _, c := range []*dataset.Column{a, b} {
+		for i := 0; i < c.Len(); i++ {
+			if v := c.Num(i); v == v {
+				vals = append(vals, v)
+			} else {
+				nans++
+			}
+		}
 	}
 	sort.Float64s(vals)
 	distinct := vals[:0]
@@ -264,8 +276,20 @@ func MergedRanks(a, b *dataset.Column) (ra, rb []int32) {
 			distinct = append(distinct, v)
 		}
 	}
+	// Ranks 0..nans-1 are the NaN occurrences (a's rows first, then
+	// b's, each unique); real values start at nans. Appending rows
+	// never reorders existing occurrences, so rank comparisons between
+	// old rows are stable across appends — the property the evidence
+	// delta path relies on.
+	nextNaN := int32(0)
+	base := int32(nans)
 	rank := func(v float64) int32 {
-		return int32(sort.SearchFloat64s(distinct, v))
+		if v != v {
+			r := nextNaN
+			nextNaN++
+			return r
+		}
+		return base + int32(sort.SearchFloat64s(distinct, v))
 	}
 	ra = make([]int32, a.Len())
 	for i := range ra {

@@ -1,6 +1,7 @@
 package pli
 
 import (
+	"math"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -150,6 +151,65 @@ func TestQuickMergedRanks(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestMergedRanksNaN(t *testing.T) {
+	nan := math.NaN()
+	// NaN on both sides plus ±0 (which must merge into one rank) and a
+	// shared real value.
+	a := dataset.NewFloatColumn("a", []float64{nan, 1, math.Copysign(0, -1), 2})
+	b := dataset.NewFloatColumn("b", []float64{0, nan, 2, nan})
+	ra, rb := MergedRanks(a, b)
+	for i := 0; i < a.Len(); i++ {
+		for j := 0; j < b.Len(); j++ {
+			x, y := a.Num(i), b.Num(j)
+			if wantEq := x == y; (ra[i] == rb[j]) != wantEq {
+				t.Errorf("(%d,%d): values %v,%v but ranks %d,%d", i, j, x, y, ra[i], rb[j])
+			}
+			if x == x && y == y {
+				if (x < y) != (ra[i] < rb[j]) {
+					t.Errorf("(%d,%d): order broken for %v,%v", i, j, x, y)
+				}
+			} else if ra[i] == rb[j] {
+				t.Errorf("(%d,%d): NaN pair got equal ranks %d", i, j, ra[i])
+			}
+		}
+	}
+	// NaN ranks must be unique within each column too.
+	if ra[0] == rb[1] || rb[1] == rb[3] || ra[0] == rb[3] {
+		t.Errorf("NaN occurrences share ranks: ra=%v rb=%v", ra, rb)
+	}
+}
+
+// TestMergedRanksNaNAppendStable pins the property the evidence delta
+// path relies on: growing both columns by appended rows never changes
+// the relative order (or equality) of ranks between pre-existing rows.
+func TestMergedRanksNaNAppendStable(t *testing.T) {
+	nan := math.NaN()
+	av := []float64{nan, 1, 3}
+	bv := []float64{2, nan, 1}
+	a0 := dataset.NewFloatColumn("a", av)
+	b0 := dataset.NewFloatColumn("b", bv)
+	ra0, rb0 := MergedRanks(a0, b0)
+	a1 := dataset.NewFloatColumn("a", append(append([]float64(nil), av...), nan, 0.5))
+	b1 := dataset.NewFloatColumn("b", append(append([]float64(nil), bv...), nan, 3))
+	ra1, rb1 := MergedRanks(a1, b1)
+	cmp := func(x, y int32) int {
+		switch {
+		case x < y:
+			return -1
+		case x > y:
+			return 1
+		}
+		return 0
+	}
+	for i := range av {
+		for j := range bv {
+			if cmp(ra0[i], rb0[j]) != cmp(ra1[i], rb1[j]) {
+				t.Fatalf("(%d,%d): rank comparison changed across append", i, j)
+			}
+		}
 	}
 }
 

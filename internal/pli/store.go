@@ -15,9 +15,11 @@ import (
 // construction entirely. All methods are safe for concurrent use; the
 // returned Indexes are immutable and may be read without locking.
 type Store struct {
-	mu   sync.RWMutex
-	cols []*dataset.Column
-	idx  []*Index
+	mu    sync.RWMutex
+	cols  []*dataset.Column
+	idx   []*Index
+	stats []*ColStats // per-column, lazily filled by StatsFor
+	hist  []*ColHist  // per-column, lazily filled by HistFor
 
 	hits, misses atomic.Int64
 }

@@ -758,6 +758,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 			"index_misses": indexMisses,
 			"hit_rate":     hitRate,
 		},
+		"plans": s.reg.planShapes(),
 		"sessions": map[string]any{
 			"count":     sessions,
 			"mem_bytes": memBytes,

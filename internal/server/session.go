@@ -366,3 +366,23 @@ func (r *registry) stats() (sessions int, memBytes int64, planHits, planMisses, 
 	}
 	return
 }
+
+// planShapes aggregates executed plan-shape counts across sessions —
+// the per-plan observability that lets mixed validate/mine traffic be
+// diagnosed by which executors it actually ran.
+func (r *registry) planShapes() map[string]int64 {
+	r.mu.RLock()
+	all := make([]*session, 0, len(r.byID))
+	for _, s := range r.byID {
+		all = append(all, s)
+	}
+	r.mu.RUnlock()
+	total := make(map[string]int64)
+	for _, s := range all {
+		checker, _ := s.state()
+		for shape, n := range checker.PlanShapes() {
+			total[shape] += n
+		}
+	}
+	return total
+}

@@ -31,21 +31,51 @@ type Checker struct {
 	plans map[string]*dcPlan
 
 	planHits, planMisses atomic.Int64
+	shapes               shapeCounters
+}
+
+// shapeCounters tallies executed plan shapes (dcserved's /metrics
+// exposes them so mixed validate/mine traffic can be diagnosed by the
+// plans it actually ran).
+type shapeCounters struct {
+	eqjoin, crossjoin, rng, scan atomic.Int64
+}
+
+func (s *shapeCounters) inc(shape string) {
+	switch shape {
+	case ShapeEqJoin:
+		s.eqjoin.Add(1)
+	case ShapeCrossJoin:
+		s.crossjoin.Add(1)
+	case ShapeRange:
+		s.rng.Add(1)
+	default:
+		s.scan.Add(1)
+	}
 }
 
 // dcPlan is the cached compilation of one DC spec against the
-// relation: predicates split and ordered for the scan path, the
-// single-tuple mask, and (built lazily, since a forced scan never needs
-// it) the PLI join plan. All fields are immutable once built.
+// relation: predicates split, cross-tuple predicates in greedy
+// cost-to-refute order with their selectivity estimates, the
+// single-tuple mask, and (each built lazily on first need) the PLI
+// join plan, the sorted-rank range probe, and the planner's shape
+// choice. All fields are immutable once built.
 type dcPlan struct {
 	singles, cross []compiledPred
+	sels           []float64 // estimated selectivity per cross predicate
 	mask           []bool
 
 	pliOnce sync.Once
 	// pli is atomic so stat readers (MemBytes) can observe it without
 	// triggering the lazy build; nil means not built yet or no joinable
-	// equality predicate.
+	// equality predicate. Same convention for rng and qp.
 	pli atomic.Pointer[pliPlan]
+
+	rngOnce sync.Once
+	rng     atomic.Pointer[rangeProbe]
+
+	qpOnce sync.Once
+	qp     atomic.Pointer[queryPlan]
 }
 
 // NewChecker creates a Checker over the relation with empty caches.
@@ -95,7 +125,8 @@ func (c *Checker) plan(spec predicate.DCSpec) (*dcPlan, error) {
 		return nil, err
 	}
 	singles, cross := splitPreds(preds)
-	p = &dcPlan{singles: singles, cross: cross, mask: singleMask(c.cache.rel.NumRows(), singles)}
+	sels := orderCross(c.cache, cross)
+	p = &dcPlan{singles: singles, cross: cross, sels: sels, mask: singleMask(c.cache.rel.NumRows(), singles)}
 	c.mu.Lock()
 	if prior := c.plans[key]; prior != nil {
 		p = prior // another goroutine compiled concurrently
@@ -111,8 +142,23 @@ func (c *Checker) plan(spec predicate.DCSpec) (*dcPlan, error) {
 // pliPlan returns the DC's prepared PLI join plan, building it on first
 // use (nil when the DC has no equality predicate to join on).
 func (p *dcPlan) pliPlan(cache *pliCache) *pliPlan {
-	p.pliOnce.Do(func() { p.pli.Store(preparePLIPlan(cache, p.cross)) })
+	p.pliOnce.Do(func() { p.pli.Store(preparePLIPlan(cache, p.cross, p.sels)) })
 	return p.pli.Load()
+}
+
+// rangePlan returns the DC's sorted-rank range probe, building it on
+// first use (nil when no cross-tuple order predicate over numeric
+// columns exists).
+func (p *dcPlan) rangePlan(cache *pliCache) *rangeProbe {
+	p.rngOnce.Do(func() { p.rng.Store(prepareRangeProbe(cache, p.cross, p.sels)) })
+	return p.rng.Load()
+}
+
+// queryPlan returns the planner's shape choice for the DC, deciding on
+// first use.
+func (p *dcPlan) queryPlan(cache *pliCache, n int) *queryPlan {
+	p.qpOnce.Do(func() { p.qp.Store(prepareQueryPlan(cache, p, n)) })
+	return p.qp.Load()
 }
 
 // Check enumerates the violations of every DC against the relation and
@@ -150,41 +196,63 @@ func (c *Checker) checkOne(spec predicate.DCSpec, opts Options) (*DCResult, erro
 	}
 	n := c.cache.rel.NumRows()
 
-	// Path choice. The join plan is only prepared when it can be used:
-	// the forced scan path skips the O(n) construction entirely.
-	var pp *pliPlan
-	if opts.Path != PathScan {
-		pp = plan.pliPlan(c.cache)
-	}
-	path := PathScan
+	// Shape choice. Structures are only prepared when the chosen (or
+	// forced) path can use them: a forced scan builds nothing, a forced
+	// pli never builds the range probe, and the planner builds lazily
+	// (see prepareQueryPlan). Forcing a path with no usable structure
+	// falls back to the scan, reported in DCResult.Path.
+	var qp *queryPlan
 	switch opts.Path {
-	case "", PathAuto:
-		if pp != nil && pp.candPairs*pliAdvantage <= int64(n)*int64(n-1) {
-			path = PathPLI
-		}
+	case PathScan:
+		qp = scanQueryPlan(plan, n)
 	case PathPLI:
-		if pp != nil {
-			path = PathPLI
+		if pp := plan.pliPlan(c.cache); pp != nil {
+			qp = joinQueryPlan(pp)
+		} else {
+			qp = scanQueryPlan(plan, n)
 		}
+	case PathRange:
+		if rp := plan.rangePlan(c.cache); rp != nil {
+			qp = rangeQueryPlan(rp)
+		} else {
+			qp = scanQueryPlan(plan, n)
+		}
+	case PathBinary:
+		// The historical two-way heuristic, kept selectable so the
+		// planner's wins stay measurable against it.
+		if pp := plan.pliPlan(c.cache); pp != nil && pp.candPairs*pliAdvantage <= int64(n)*int64(n-1) {
+			qp = joinQueryPlan(pp)
+		} else {
+			qp = scanQueryPlan(plan, n)
+		}
+	default: // "", PathAuto, PathPlanner
+		qp = plan.queryPlan(c.cache, n)
 	}
 
 	var col *collector
-	if path == PathPLI {
-		col = runPLI(pp, n, plan.mask, opts.Workers, opts.MaxPairs)
-	} else {
-		col = scanPairs(n, plan.mask, plan.cross, opts.Workers, opts.MaxPairs)
+	switch qp.shape {
+	case ShapeEqJoin, ShapeCrossJoin:
+		col = runPLI(qp.join, n, plan.mask, opts.Workers, opts.MaxPairs)
+	case ShapeRange:
+		col = runRange(qp.rng, n, plan.mask, opts.Workers, opts.MaxPairs)
+	default:
+		col = scanPairs(n, plan.mask, qp.residual, opts.Workers, opts.MaxPairs)
 	}
+	c.shapes.inc(qp.shape)
 
 	// Each worker's retained pairs are its lexicographically smallest;
 	// sorting the merged retention and re-capping yields the globally
 	// smallest MaxPairs pairs (or all pairs when uncapped).
 	slices.SortFunc(col.pairs, pairCmp)
+	explain := qp.explain
+	explain.ActualPairs = col.examined
 	res := &DCResult{
 		Spec:        spec,
 		Violations:  col.violations,
 		Pairs:       col.pairs,
 		TupleCounts: col.counts,
-		Path:        path,
+		Path:        pathName(qp.shape),
+		Plan:        &explain,
 	}
 	if opts.MaxPairs > 0 && len(res.Pairs) > opts.MaxPairs {
 		res.Pairs = res.Pairs[:opts.MaxPairs]
@@ -238,6 +306,10 @@ func (c *Checker) AppendRows(records [][]string) (next *Checker, patched, droppe
 	}
 	next.planHits.Store(c.planHits.Load())
 	next.planMisses.Store(c.planMisses.Load())
+	next.shapes.eqjoin.Store(c.shapes.eqjoin.Load())
+	next.shapes.crossjoin.Store(c.shapes.crossjoin.Load())
+	next.shapes.rng.Store(c.shapes.rng.Load())
+	next.shapes.scan.Store(c.shapes.scan.Load())
 	return next, patched, dropped, nil
 }
 
@@ -245,6 +317,17 @@ func (c *Checker) AppendRows(records [][]string) (next *Checker, patched, droppe
 // compiles the spec and, if needed, prepares its join plan).
 func (c *Checker) PlanStats() (hits, misses int64) {
 	return c.planHits.Load(), c.planMisses.Load()
+}
+
+// PlanShapes returns the cumulative count of executed checks per plan
+// shape, keyed by the Shape* constants.
+func (c *Checker) PlanShapes() map[string]int64 {
+	return map[string]int64{
+		ShapeEqJoin:    c.shapes.eqjoin.Load(),
+		ShapeCrossJoin: c.shapes.crossjoin.Load(),
+		ShapeRange:     c.shapes.rng.Load(),
+		ShapeScan:      c.shapes.scan.Load(),
+	}
 }
 
 // IndexStats returns cumulative PLI store hits and misses.
@@ -272,6 +355,12 @@ func (c *Checker) MemBytes() int64 {
 			for _, rows := range pp.build {
 				b += int64(len(rows))*4 + 24
 			}
+			for k := range pp.groupRows {
+				b += int64(len(pp.groupRows[k]))*4 + int64(len(pp.groupVals[k]))*8 + 48
+			}
+		}
+		if rp := p.rng.Load(); rp != nil {
+			b += int64(len(rp.rows))*4 + int64(len(rp.keys))*8 + int64(len(rp.starts))*4
 		}
 	}
 	return b

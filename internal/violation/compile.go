@@ -37,10 +37,11 @@ func (p compiledPred) crossColEq() bool {
 	return p.cross && p.op == predicate.Eq && p.a != p.b
 }
 
-// selRank orders predicates for the refutation scan: predicates most
-// likely to fail (and thus refute a violation early) come first.
-// Equality is the most selective, then strict order comparisons, then
-// their non-strict forms; inequality almost always holds and goes last.
+// selRank is the static operator ranking the planner falls back on to
+// break ties between predicates whose estimated selectivities are
+// equal: equality is the most selective, then strict order comparisons,
+// then their non-strict forms; inequality almost always holds and goes
+// last. (The primary ordering is statistics-driven — see orderCross.)
 func selRank(op predicate.Operator) int {
 	switch op {
 	case predicate.Eq:
@@ -158,20 +159,15 @@ func evalInt(op predicate.Operator, a, b int64) bool {
 }
 
 // splitPreds separates single-tuple predicates (which depend only on the
-// first tuple and fold into a per-row mask) from cross-tuple predicates,
-// which are returned ordered most-selective-first for early exit.
+// first tuple and fold into a per-row mask) from cross-tuple predicates.
+// Cross-tuple ordering happens afterwards in orderCross, which ranks by
+// estimated selectivity from column statistics.
 func splitPreds(preds []compiledPred) (singles, cross []compiledPred) {
 	for _, p := range preds {
 		if p.cross {
 			cross = append(cross, p)
 		} else {
 			singles = append(singles, p)
-		}
-	}
-	// Stable insertion sort by selectivity rank; predicate lists are tiny.
-	for i := 1; i < len(cross); i++ {
-		for k := i; k > 0 && selRank(cross[k].op) < selRank(cross[k-1].op); k-- {
-			cross[k], cross[k-1] = cross[k-1], cross[k]
 		}
 	}
 	return singles, cross

@@ -1,0 +1,166 @@
+package violation
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"adc/internal/dataset"
+	"adc/internal/predicate"
+)
+
+// fuzzCheckRelation derives a random relation from the fuzz inputs.
+// Domains are kept small so equality collisions (joins, clusters) are
+// common, and float columns mix in NaN and both zero signs — the value
+// classes whose total-order ranking the PLI paths must get right. Int
+// values stay far below 2^53, where the float-keyed numeric indexes
+// are exact.
+func fuzzCheckRelation(r *rand.Rand, shape byte) *dataset.Relation {
+	n := 2 + r.Intn(18)
+	numCols := 2 + int(shape>>6) // 2..5 columns
+	cols := make([]*dataset.Column, 0, numCols)
+	for c := 0; c < numCols; c++ {
+		domain := 2 + r.Intn(5)
+		name := string(rune('A' + c))
+		switch r.Intn(3) {
+		case 0:
+			vals := make([]string, n)
+			for i := range vals {
+				vals[i] = string(rune('a' + r.Intn(domain)))
+			}
+			cols = append(cols, dataset.NewStringColumn(name, vals))
+		case 1:
+			vals := make([]int64, n)
+			for i := range vals {
+				vals[i] = int64(r.Intn(domain)) - 2
+			}
+			cols = append(cols, dataset.NewIntColumn(name, vals))
+		default:
+			vals := make([]float64, n)
+			for i := range vals {
+				switch r.Intn(8) {
+				case 0:
+					vals[i] = math.NaN()
+				case 1:
+					vals[i] = math.Copysign(0, -1)
+				default:
+					vals[i] = float64(r.Intn(domain)) - 1
+				}
+			}
+			cols = append(cols, dataset.NewFloatColumn(name, vals))
+		}
+	}
+	return dataset.MustNewRelation("fuzz", cols)
+}
+
+// fuzzDCSpec builds a random well-typed cross-tuple DC over the
+// relation: order operators only between numeric columns, strings
+// restricted to (in)equality, and operand kinds always matching.
+func fuzzDCSpec(r *rand.Rand, rel *dataset.Relation) predicate.DCSpec {
+	numeric := make([]string, 0, rel.NumColumns())
+	str := make([]string, 0, rel.NumColumns())
+	for _, c := range rel.Columns {
+		if c.Type == dataset.String {
+			str = append(str, c.Name)
+		} else {
+			numeric = append(numeric, c.Name)
+		}
+	}
+	orderOps := []predicate.Operator{predicate.Lt, predicate.Leq, predicate.Gt, predicate.Geq}
+	spec := make(predicate.DCSpec, 0, 3)
+	for len(spec) == 0 || (len(spec) < 3 && r.Intn(2) == 0) {
+		var p predicate.Spec
+		p.Cross = true
+		if len(numeric) > 0 && (len(str) == 0 || r.Intn(3) > 0) {
+			p.A = numeric[r.Intn(len(numeric))]
+			p.B = numeric[r.Intn(len(numeric))]
+			switch r.Intn(3) {
+			case 0:
+				p.Op = predicate.Eq
+			case 1:
+				p.Op = predicate.Neq
+			default:
+				p.Op = orderOps[r.Intn(len(orderOps))]
+			}
+		} else {
+			p.A = str[r.Intn(len(str))]
+			p.B = str[r.Intn(len(str))]
+			if r.Intn(2) == 0 {
+				p.Op = predicate.Eq
+			} else {
+				p.Op = predicate.Neq
+			}
+		}
+		spec = append(spec, p)
+	}
+	return spec
+}
+
+// FuzzCheckPaths is the cross-executor equivalence property behind the
+// planner: on any relation and well-typed DC, the scan, the forced PLI
+// join, the forced range probe, the greedy planner, and the historical
+// binary heuristic produce identical violation sets, tuple counts, and
+// losses — and all of them match the reference evaluator
+// predicate.DC.ViolatingPairs whenever the mined predicate space
+// admits the DC. The seed corpus under testdata/fuzz runs on every
+// plain `go test`; `go test -fuzz=FuzzCheckPaths` explores further.
+func FuzzCheckPaths(f *testing.F) {
+	for seed := int64(0); seed < 16; seed++ {
+		f.Add(seed, byte(seed*29))
+	}
+	f.Add(int64(3), byte(0xc0)) // max columns
+	f.Add(int64(11), byte(0x40))
+	f.Fuzz(func(t *testing.T, seed int64, shape byte) {
+		r := rand.New(rand.NewSource(seed))
+		rel := fuzzCheckRelation(r, shape)
+		specs := []predicate.DCSpec{fuzzDCSpec(r, rel)}
+
+		// Occasionally force the within-group order pushdown onto tiny
+		// groups; fuzz bodies run serially per process, so mutating the
+		// package knob is race-free.
+		if shape&0x20 != 0 {
+			old := groupRangeMinSize
+			groupRangeMinSize = 2
+			defer func() { groupRangeMinSize = old }()
+		}
+
+		base, err := Check(rel, specs, Options{Path: PathScan})
+		if err != nil {
+			t.Fatalf("scan: %v", err)
+		}
+		want := base.Results[0]
+		for _, path := range []string{PathPLI, PathRange, PathAuto, PathPlanner, PathBinary} {
+			rep, err := Check(rel, specs, Options{Path: path, Workers: 1 + r.Intn(4)})
+			if err != nil {
+				t.Fatalf("%s: %v", path, err)
+			}
+			got := rep.Results[0]
+			if got.Violations != want.Violations {
+				t.Errorf("%s: %d violations, scan found %d", path, got.Violations, want.Violations)
+			}
+			if !reflect.DeepEqual(got.Pairs, want.Pairs) {
+				t.Errorf("%s: pairs %v, scan %v (plan %+v)", path, got.Pairs, want.Pairs, got.Plan)
+			}
+			if !reflect.DeepEqual(got.TupleCounts, want.TupleCounts) {
+				t.Errorf("%s: tuple counts %v, scan %v", path, got.TupleCounts, want.TupleCounts)
+			}
+			if got.LossF1 != want.LossF1 || got.LossF2 != want.LossF2 || got.LossF3 != want.LossF3 {
+				t.Errorf("%s: losses (%v %v %v), scan (%v %v %v)", path,
+					got.LossF1, got.LossF2, got.LossF3, want.LossF1, want.LossF2, want.LossF3)
+			}
+		}
+
+		// Reference evaluator, when the mined space admits the DC.
+		popts := predicate.DefaultOptions()
+		popts.MinShared = 0
+		space := predicate.Build(rel, popts)
+		dc, err := predicate.FromSpecs(space, specs[0])
+		if err != nil {
+			return // predicate not in the mined space; executor agreement above still holds
+		}
+		if got := dc.ViolatingPairs(); !pairsEqual(got, want.Pairs) {
+			t.Errorf("reference pairs %v, scan %v", got, want.Pairs)
+		}
+	})
+}

@@ -2,6 +2,7 @@ package violation
 
 import (
 	"runtime"
+	"slices"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -22,6 +23,10 @@ type collector struct {
 	cap        int
 	counts     []int64
 	violations int64
+	// examined counts the candidate pairs the executor handed to the
+	// residual predicates — the "actual" side of PlanExplain's estimated
+	// vs. actual comparison.
+	examined int64
 }
 
 func newCollector(n, cap int) *collector {
@@ -73,6 +78,7 @@ func mergeCollectors(cs []*collector) *collector {
 	base := cs[0]
 	for _, o := range cs[1:] {
 		base.violations += o.violations
+		base.examined += o.examined
 		base.pairs = append(base.pairs, o.pairs...)
 		for t, c := range o.counts {
 			base.counts[t] += c
@@ -128,6 +134,7 @@ func scanRange(c *collector, lo, hi, n int, mask []bool, preds []compiledPred) {
 		if mask != nil && !mask[i] {
 			continue
 		}
+		c.examined += int64(n - 1)
 		for j := 0; j < n; j++ {
 			if j == i {
 				continue
@@ -168,24 +175,42 @@ func (c *pliCache) index(col int) *pli.Index {
 // one of groups (same-attribute equality join, possibly composite) or
 // probe/build (cross-column equality join) is populated. residual holds
 // the cross-tuple predicates not consumed by the join, ordered
-// most-selective-first. candPairs estimates the ordered candidate pairs
-// the join emits; the cost heuristic compares it against the full n²
-// scan.
+// most-selective-first. candPairs is the exact count of ordered
+// candidate pairs the join emits; estPairs is what the planner
+// predicted from column statistics before building (the explain
+// output's estimated side); joinCols names the equality cascade.
 type pliPlan struct {
 	groups    [][]int32
 	probe     []int32
 	build     map[int32][]int32
 	residual  []compiledPred
 	candPairs int64
+	estPairs  int64
+	joinCols  []string
+
+	// Within-group order pushdown (eqjoin shape only): driver is an
+	// order predicate answered by binary search over each large group's
+	// rows pre-sorted by build-side value, instead of per-pair
+	// refutation. groupRows/groupVals align with groups; nil entries
+	// (small groups) evaluate driver per pair. Sorting happens once at
+	// plan build, so warm checks pay nothing.
+	driver    *compiledPred
+	driverA   *dataset.Column
+	groupRows [][]int32
+	groupVals [][]float64
 }
 
 // preparePLIPlan builds the cluster-intersection join for a DC, or
 // returns nil when the DC has no cross-tuple equality predicate to join
-// on. Same-attribute equalities are preferred: all of them become one
-// composite join key (their PLI clusters are intersected exactly).
-// Otherwise one cross-column equality is joined via merged codes and the
-// rest stay residual.
-func preparePLIPlan(cache *pliCache, cross []compiledPred) *pliPlan {
+// on. Same-attribute equalities are preferred: all of them cascade into
+// one composite join key (their PLI clusters are intersected exactly),
+// most selective column first so intermediate groups shrink fastest.
+// Otherwise the cross-column equality with the lowest estimated
+// selectivity is joined via merged codes — chosen from statistics, so
+// only one join is ever materialized. cross must already be in greedy
+// order with sels aligned (orderCross).
+func preparePLIPlan(cache *pliCache, cross []compiledPred, sels []float64) *pliPlan {
+	n := cache.rel.NumRows()
 	var joinCols []int
 	seen := map[int]bool{}
 	for _, p := range cross {
@@ -195,7 +220,26 @@ func preparePLIPlan(cache *pliCache, cross []compiledPred) *pliPlan {
 		}
 	}
 	if len(joinCols) > 0 {
-		plan := &pliPlan{groups: sameAttrGroups(cache, joinCols)}
+		// Cascade order: most selective equality first. EqFraction is
+		// exact per column; the composite estimate assumes independence.
+		slices.SortStableFunc(joinCols, func(a, b int) int {
+			fa, fb := cache.store.StatsFor(a).EqFraction(), cache.store.StatsFor(b).EqFraction()
+			switch {
+			case fa < fb:
+				return -1
+			case fa > fb:
+				return 1
+			}
+			return 0
+		})
+		est := 1.0
+		plan := &pliPlan{}
+		for _, col := range joinCols {
+			est *= cache.store.StatsFor(col).EqFraction()
+			plan.joinCols = append(plan.joinCols, cache.rel.Columns[col].Name)
+		}
+		plan.estPairs = estPairs(est, n)
+		plan.groups = sameAttrGroups(cache, joinCols)
 		for _, p := range cross {
 			if !p.sameAttrEq() {
 				plan.residual = append(plan.residual, p)
@@ -204,34 +248,100 @@ func preparePLIPlan(cache *pliCache, cross []compiledPred) *pliPlan {
 		for _, g := range plan.groups {
 			plan.candPairs += int64(len(g)) * int64(len(g)-1)
 		}
+		plan.pushdownOrder(cache)
 		return plan
 	}
 
 	// No same-attribute equality: join on the cross-column equality with
-	// the fewest candidate pairs, if any.
+	// the lowest estimated selectivity, if any.
 	best := -1
-	var bestPairs int64
-	var bestProbe []int32
-	var bestBuild map[int32][]int32
 	for k, p := range cross {
-		if !p.crossColEq() {
-			continue
-		}
-		probe, build, cand := crossColJoin(cache.rel, p.a, p.b)
-		if best < 0 || cand < bestPairs {
-			best, bestPairs, bestProbe, bestBuild = k, cand, probe, build
+		if p.crossColEq() && (best < 0 || sels[k] < sels[best]) {
+			best = k
 		}
 	}
 	if best < 0 {
 		return nil
 	}
-	plan := &pliPlan{probe: bestProbe, build: bestBuild, candPairs: bestPairs}
+	bp := cross[best]
+	probe, build, cand := crossColJoin(cache.rel, bp.a, bp.b)
+	plan := &pliPlan{
+		probe:     probe,
+		build:     build,
+		candPairs: cand,
+		estPairs:  estPairs(sels[best], n),
+		joinCols:  []string{cache.rel.Columns[bp.a].Name + "=" + cache.rel.Columns[bp.b].Name},
+	}
 	for k, p := range cross {
 		if k != best {
 			plan.residual = append(plan.residual, p)
 		}
 	}
 	return plan
+}
+
+// pushdownOrder extracts the most selective order predicate from an
+// eqjoin's residual and pre-sorts every group of at least
+// groupRangeMinSize rows by the predicate's build-side value (NaN rows
+// dropped — they satisfy no order comparison), so the executor finds a
+// probe row's qualifying partners by binary search instead of
+// evaluating the predicate per pair.
+func (plan *pliPlan) pushdownOrder(cache *pliCache) {
+	driver := -1
+	for k, p := range plan.residual {
+		if p.cross && isOrderOp(p.op) &&
+			cache.rel.Columns[p.a].Type.Numeric() && cache.rel.Columns[p.b].Type.Numeric() {
+			driver = k
+			break
+		}
+	}
+	if driver < 0 {
+		return
+	}
+	big := false
+	for _, g := range plan.groups {
+		if len(g) >= groupRangeMinSize {
+			big = true
+			break
+		}
+	}
+	if !big {
+		return
+	}
+	d := plan.residual[driver]
+	plan.driver = &d
+	plan.driverA = cache.rel.Columns[d.a]
+	plan.residual = append(plan.residual[:driver:driver], plan.residual[driver+1:]...)
+	bv := cache.rel.Columns[d.b]
+	plan.groupRows = make([][]int32, len(plan.groups))
+	plan.groupVals = make([][]float64, len(plan.groups))
+	for k, g := range plan.groups {
+		if len(g) < groupRangeMinSize {
+			continue
+		}
+		rows := make([]int32, 0, len(g))
+		for _, r := range g {
+			if v := bv.Num(int(r)); v == v {
+				rows = append(rows, r)
+			}
+		}
+		slices.SortStableFunc(rows, func(a, b int32) int {
+			va, vb := bv.Num(int(a)), bv.Num(int(b))
+			switch {
+			case va < vb:
+				return -1
+			case va > vb:
+				return 1
+			}
+			return int(a - b)
+		})
+		vals := make([]float64, len(rows))
+		for i, r := range rows {
+			vals[i] = bv.Num(int(r))
+		}
+		plan.groupRows[k] = rows
+		plan.groupVals[k] = vals
+	}
 }
 
 // sameAttrGroups intersects the PLI clusters of the join columns: rows
@@ -303,8 +413,8 @@ func runGroups(plan *pliPlan, n int, mask []bool, workers, cap int) *collector {
 	}
 	if workers <= 1 {
 		c := newCollector(n, cap)
-		for _, g := range plan.groups {
-			groupPairs(c, g, mask, plan.residual)
+		for k := range plan.groups {
+			groupPairs(c, plan, k, mask)
 		}
 		return c
 	}
@@ -321,7 +431,7 @@ func runGroups(plan *pliPlan, n int, mask []bool, workers, cap int) *collector {
 				if k >= len(plan.groups) {
 					return
 				}
-				groupPairs(c, plan.groups[k], mask, plan.residual)
+				groupPairs(c, plan, k, mask)
 			}
 		}(cs[w])
 	}
@@ -329,7 +439,39 @@ func runGroups(plan *pliPlan, n int, mask []bool, workers, cap int) *collector {
 	return mergeCollectors(cs)
 }
 
-func groupPairs(c *collector, g []int32, mask []bool, residual []compiledPred) {
+func groupPairs(c *collector, plan *pliPlan, k int, mask []bool) {
+	g := plan.groups[k]
+	if plan.groupRows != nil && plan.groupRows[k] != nil {
+		// Pushed-down order driver: the group's rows are pre-sorted by
+		// the driver's build-side value, so each probe row visits only
+		// the contiguous run that satisfies the driver.
+		rows, vals := plan.groupRows[k], plan.groupVals[k]
+		for _, i32 := range g {
+			i := int(i32)
+			if mask != nil && !mask[i] {
+				continue
+			}
+			lo, hi := rangeBounds(vals, plan.driverA.Num(i), plan.driver.op)
+			for _, j32 := range rows[lo:hi] {
+				j := int(j32)
+				if j == i {
+					continue
+				}
+				c.examined++
+				sat := true
+				for r := range plan.residual {
+					if !plan.residual[r].eval(i, j) {
+						sat = false
+						break
+					}
+				}
+				if sat {
+					c.add(i, j)
+				}
+			}
+		}
+		return
+	}
 	for ai, i32 := range g {
 		i := int(i32)
 		if mask != nil && !mask[i] {
@@ -340,9 +482,13 @@ func groupPairs(c *collector, g []int32, mask []bool, residual []compiledPred) {
 				continue
 			}
 			j := int(j32)
+			c.examined++
+			if plan.driver != nil && !plan.driver.eval(i, j) {
+				continue
+			}
 			sat := true
-			for k := range residual {
-				if !residual[k].eval(i, j) {
+			for k := range plan.residual {
+				if !plan.residual[k].eval(i, j) {
 					sat = false
 					break
 				}
@@ -375,6 +521,61 @@ func runProbe(plan *pliPlan, n int, mask []bool, workers, cap int) *collector {
 	return mergeCollectors(cs)
 }
 
+// ---- Range path ----------------------------------------------------------
+
+// runRange executes a sorted-rank probe plan: each probe row's
+// qualifying partners under the driver order predicate are found by
+// binary search over the build column's value-ordered rows, and only
+// residual predicates run per candidate. Sharded by probe row like the
+// scan path.
+func runRange(rp *rangeProbe, n int, mask []bool, workers, cap int) *collector {
+	workers = clampWorkers(workers, n)
+	if workers == 1 {
+		c := newCollector(n, cap)
+		rangeScan(c, 0, n, rp, mask)
+		return c
+	}
+	cs := make([]*collector, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		cs[w] = newCollector(n, cap)
+		lo, hi := w*n/workers, (w+1)*n/workers
+		wg.Add(1)
+		go func(c *collector, lo, hi int) {
+			defer wg.Done()
+			rangeScan(c, lo, hi, rp, mask)
+		}(cs[w], lo, hi)
+	}
+	wg.Wait()
+	return mergeCollectors(cs)
+}
+
+func rangeScan(c *collector, lo, hi int, rp *rangeProbe, mask []bool) {
+	for i := lo; i < hi; i++ {
+		if mask != nil && !mask[i] {
+			continue
+		}
+		klo, khi := rangeBounds(rp.keys, rp.av.Num(i), rp.driver.op)
+		for _, j32 := range rp.rows[rp.starts[klo]:rp.starts[khi]] {
+			j := int(j32)
+			if j == i {
+				continue
+			}
+			c.examined++
+			sat := true
+			for k := range rp.residual {
+				if !rp.residual[k].eval(i, j) {
+					sat = false
+					break
+				}
+			}
+			if sat {
+				c.add(i, j)
+			}
+		}
+	}
+}
+
 func probeRange(c *collector, lo, hi int, plan *pliPlan, mask []bool) {
 	for i := lo; i < hi; i++ {
 		if mask != nil && !mask[i] {
@@ -385,6 +586,7 @@ func probeRange(c *collector, lo, hi int, plan *pliPlan, mask []bool) {
 			if j == i {
 				continue
 			}
+			c.examined++
 			sat := true
 			for k := range plan.residual {
 				if !plan.residual[k].eval(i, j) {

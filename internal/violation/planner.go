@@ -1,0 +1,410 @@
+package violation
+
+import (
+	"sort"
+
+	"adc/internal/dataset"
+	"adc/internal/pli"
+	"adc/internal/predicate"
+)
+
+// Plan shapes: the executor families the planner chooses between.
+// eqjoin and crossjoin both surface as Path "pli" in results (they are
+// the two forms of the cluster-intersection join); range and scan
+// surface under their own names.
+const (
+	ShapeEqJoin    = "eqjoin"    // composite same-attribute cluster join
+	ShapeCrossJoin = "crossjoin" // t[A] = t'[B] merged-code hash join
+	ShapeRange     = "range"     // sorted-rank probe on an order predicate
+	ShapeScan      = "scan"      // sharded refutation scan over all pairs
+)
+
+// rangeAdvantage mirrors pliAdvantage for the range shape: a sorted-rank
+// probe is chosen only when its candidate pairs, scaled by this per-pair
+// overhead factor, undercut the scan's.
+const rangeAdvantage = 2
+
+// groupRangeMinSize is the smallest cluster-join group worth the
+// per-group sort that pushes an order predicate into a binary-searched
+// probe; below it the plain nested loop with early exit wins. Var, not
+// const, so tests can force the probe path on tiny relations.
+var groupRangeMinSize = 16
+
+// PlanExplain is the printable query plan of one DC: which executor
+// shape ran, the equality cascade and pushed-down order predicate, the
+// residual refutation order, and the planner's candidate-pair estimate
+// against what the executor actually examined.
+type PlanExplain struct {
+	// Shape is the executor family: "eqjoin", "crossjoin", "range", or
+	// "scan".
+	Shape string `json:"shape"`
+	// JoinCols lists the equality join cascade, most selective first
+	// (column names for eqjoin; "A=B" for crossjoin).
+	JoinCols []string `json:"join_cols,omitempty"`
+	// Range is the order predicate pushed into a sorted-rank probe —
+	// the range shape's driver, or an eqjoin's within-group pushdown.
+	Range string `json:"range,omitempty"`
+	// Residual lists the remaining cross-tuple predicates in refutation
+	// order (most selective first).
+	Residual []string `json:"residual,omitempty"`
+	// EstPairs is the planner's candidate-pair estimate from PLI
+	// statistics; ActualPairs is what the executor examined.
+	EstPairs    int64 `json:"est_pairs"`
+	ActualPairs int64 `json:"actual_pairs"`
+}
+
+// queryPlan is the planner's decision for one DC: the chosen shape, the
+// prepared structure that executes it, and the explain skeleton
+// (ActualPairs is filled per run from the collector).
+type queryPlan struct {
+	shape    string
+	join     *pliPlan
+	rng      *rangeProbe
+	residual []compiledPred // scan shape: all cross predicates, ordered
+	explain  PlanExplain
+}
+
+// isOrderOp reports whether the operator is an inequality the sorted
+// numeric PLI can answer by rank range.
+func isOrderOp(op predicate.Operator) bool {
+	switch op {
+	case predicate.Lt, predicate.Leq, predicate.Gt, predicate.Geq:
+		return true
+	}
+	return false
+}
+
+// predSel estimates the fraction of ordered tuple pairs (i, j), i ≠ j,
+// that satisfy a cross-tuple predicate, from per-column PLI statistics
+// (pli.ColStats and pli.ColHist — both available without building
+// indexes). Same-column equality fractions are exact; order
+// comparisons are counted exactly from the two value histograms (up to
+// the ≤n diagonal pairs of a cross-column predicate); cross-column
+// equality falls back to the standard 1/max(V_a, V_b) independence
+// estimate.
+func predSel(cache *pliCache, p compiledPred) float64 {
+	sa := cache.store.StatsFor(p.a)
+	if sa.Rows < 2 {
+		return 1
+	}
+	if isOrderOp(p.op) &&
+		cache.rel.Columns[p.a].Type.Numeric() && cache.rel.Columns[p.b].Type.Numeric() {
+		return orderSel(cache, p, sa)
+	}
+	realA := float64(sa.Rows-sa.NaNRows) / float64(sa.Rows)
+	if p.a == p.b {
+		eq := sa.EqFraction()
+		switch p.op {
+		case predicate.Eq:
+			return eq
+		default: // Neq
+			return 1 - eq
+		}
+	}
+	sb := cache.store.StatsFor(p.b)
+	realB := float64(sb.Rows-sb.NaNRows) / float64(sb.Rows)
+	v := max(sa.Distinct-sa.NaNRows, sb.Distinct-sb.NaNRows, 1)
+	eq := realA * realB / float64(v)
+	switch p.op {
+	case predicate.Eq:
+		return eq
+	case predicate.Neq:
+		return 1 - eq
+	default:
+		// Order comparison on a non-numeric operand: unanswerable by
+		// rank, assume nothing refutes.
+		return 1
+	}
+}
+
+// orderSel computes the fraction of ordered pairs satisfying the order
+// predicate t[A] op t'[B] by merging the two columns' value histograms:
+// gt counts the value pairs with a > b and eq those with a = b, each
+// weighted by cluster sizes. NaN rows are absent from the histograms
+// and satisfy no order comparison, so they drop out on their own. The
+// count is exact for same-column predicates (the all-equal diagonal is
+// subtracted); cross-column predicates ignore the ≤n diagonal pairs —
+// an O(1/n) error against an O(n²) denominator.
+func orderSel(cache *pliCache, p compiledPred, sa pli.ColStats) float64 {
+	ha := cache.store.HistFor(p.a)
+	hb := ha
+	nzA := float64(sa.Rows - sa.NaNRows)
+	nzB := nzA
+	if p.a != p.b {
+		hb = cache.store.HistFor(p.b)
+		sb := cache.store.StatsFor(p.b)
+		nzB = float64(sb.Rows - sb.NaNRows)
+	}
+	var gt, eq float64
+	var below float64 // b-rows strictly below the current a key
+	j := 0
+	for i, key := range ha.Keys {
+		for j < len(hb.Keys) && hb.Keys[j] < key {
+			below += float64(hb.Counts[j])
+			j++
+		}
+		ca := float64(ha.Counts[i])
+		gt += ca * below
+		if j < len(hb.Keys) && hb.Keys[j] == key {
+			eq += ca * float64(hb.Counts[j])
+		}
+	}
+	lt := nzA*nzB - gt - eq
+	if p.a == p.b {
+		eq -= nzA // the diagonal (i, i) pairs are all equal-valued
+	}
+	total := float64(sa.Rows) * float64(sa.Rows-1)
+	switch p.op {
+	case predicate.Lt:
+		return lt / total
+	case predicate.Leq:
+		return (lt + eq) / total
+	case predicate.Gt:
+		return gt / total
+	default: // Geq
+		return (gt + eq) / total
+	}
+}
+
+// orderCross sorts the cross-tuple predicates in place by estimated
+// cost-to-refute — lowest selectivity first, so the predicate most
+// likely to refute a candidate pair runs first — and returns the
+// estimates aligned with the sorted order. The static operator ranking
+// (selRank) breaks ties, keeping the order deterministic when the
+// statistics cannot separate two predicates.
+func orderCross(cache *pliCache, cross []compiledPred) []float64 {
+	sels := make([]float64, len(cross))
+	for k, p := range cross {
+		sels[k] = predSel(cache, p)
+	}
+	// Stable insertion sort; predicate lists are tiny.
+	for i := 1; i < len(cross); i++ {
+		for k := i; k > 0 && lessSel(sels[k], cross[k], sels[k-1], cross[k-1]); k-- {
+			cross[k], cross[k-1] = cross[k-1], cross[k]
+			sels[k], sels[k-1] = sels[k-1], sels[k]
+		}
+	}
+	return sels
+}
+
+func lessSel(sa float64, a compiledPred, sb float64, b compiledPred) bool {
+	if sa != sb {
+		return sa < sb
+	}
+	return selRank(a.op) < selRank(b.op)
+}
+
+// ---- Range probe ---------------------------------------------------------
+
+// rangeProbe answers an order predicate t[A] op t'[B] from the sorted
+// numeric PLI of column B: rows holds B's rows concatenated in ascending
+// value order (NaN rows excluded — NaN satisfies no order comparison),
+// keys the distinct values, and starts the per-key prefix offsets, so a
+// probe value's qualifying rows are one contiguous rows[starts[lo]:
+// starts[hi]] slice found by two binary searches. The remaining
+// cross-tuple predicates refute per candidate, most selective first.
+type rangeProbe struct {
+	driver   compiledPred
+	av       *dataset.Column
+	keys     []float64
+	starts   []int32
+	rows     []int32
+	residual []compiledPred
+	est      int64 // stats-based candidate estimate (pre-build)
+	count    int64 // exact candidate pairs, summed over all probe rows
+}
+
+// rangeBounds returns the half-open index range [lo, hi) of the
+// ascending vals whose entries x satisfy "v op x" — the build-side
+// values an A-row with value v pairs with. NaN probes match nothing.
+// Shared by the standalone range shape (over distinct keys) and the
+// eqjoin within-group pushdown (over per-group sorted values), so both
+// resolve boundaries identically.
+func rangeBounds(vals []float64, v float64, op predicate.Operator) (lo, hi int) {
+	if v != v {
+		return 0, 0
+	}
+	lower := sort.SearchFloat64s(vals, v)
+	upper := lower + sort.Search(len(vals)-lower, func(k int) bool { return vals[lower+k] > v })
+	switch op {
+	case predicate.Lt: // x > v
+		return upper, len(vals)
+	case predicate.Leq: // x >= v
+		return lower, len(vals)
+	case predicate.Gt: // x < v
+		return 0, lower
+	default: // Geq: x <= v
+		return 0, upper
+	}
+}
+
+// prepareRangeProbe builds the sorted-rank probe for the DC's most
+// selective order predicate, or returns nil when no cross-tuple order
+// predicate over numeric columns exists. cross must already be in
+// greedy order (orderCross), so the first qualifying predicate is the
+// best driver.
+func prepareRangeProbe(cache *pliCache, cross []compiledPred, sels []float64) *rangeProbe {
+	driver := -1
+	for k, p := range cross {
+		if p.cross && isOrderOp(p.op) &&
+			cache.rel.Columns[p.a].Type.Numeric() && cache.rel.Columns[p.b].Type.Numeric() {
+			driver = k
+			break
+		}
+	}
+	if driver < 0 {
+		return nil
+	}
+	d := cross[driver]
+	rows, keys, starts := cache.index(d.b).RankRows()
+	rp := &rangeProbe{
+		driver: d,
+		av:     cache.rel.Columns[d.a],
+		keys:   keys,
+		starts: starts,
+		rows:   rows,
+	}
+	for k, p := range cross {
+		if k != driver {
+			rp.residual = append(rp.residual, p)
+		}
+	}
+	n := cache.rel.NumRows()
+	rp.est = estPairs(sels[driver], n)
+	for i := 0; i < n; i++ {
+		lo, hi := rangeBounds(keys, rp.av.Num(i), d.op)
+		rp.count += int64(rp.starts[hi] - rp.starts[lo])
+	}
+	return rp
+}
+
+// estPairs scales a selectivity estimate to the relation's ordered-pair
+// count, saturating instead of overflowing.
+func estPairs(sel float64, n int) int64 {
+	est := sel * float64(n) * float64(n-1)
+	if est >= 1<<62 {
+		return 1 << 62
+	}
+	if est < 0 {
+		return 0
+	}
+	return int64(est)
+}
+
+// ---- Plan choice ---------------------------------------------------------
+
+// maskedRows counts the rows that can lead a violating pair (all of
+// them when there is no single-tuple mask).
+func maskedRows(mask []bool, n int) int64 {
+	if mask == nil {
+		return int64(n)
+	}
+	var m int64
+	for _, ok := range mask {
+		if ok {
+			m++
+		}
+	}
+	return m
+}
+
+// prepareQueryPlan is the greedy planner: equality join first (exact
+// candidate count once built, estimate decides nothing — the join
+// build is O(n) and its count is free), sorted-rank range probe when
+// the join loses or does not exist, full scan as the floor. Structures
+// are built lazily — a DC whose join wins never builds the range
+// probe, and a pure-inequality DC never builds a join.
+func prepareQueryPlan(cache *pliCache, p *dcPlan, n int) *queryPlan {
+	total := int64(n) * int64(n-1)
+	scanCost := maskedRows(p.mask, n) * int64(n-1)
+
+	if pp := p.pliPlan(cache); pp != nil {
+		if pp.candPairs*pliAdvantage <= total {
+			return joinQueryPlan(pp)
+		}
+	}
+	// Join absent or beaten by the scan: consider the range shape. The
+	// stats estimate gates the build; the exact count makes the call.
+	if k := bestOrderPred(cache, p.cross); k >= 0 && estPairs(p.sels[k], n)*rangeAdvantage <= scanCost {
+		if rp := p.rangePlan(cache); rp != nil && rp.count*rangeAdvantage <= scanCost {
+			return rangeQueryPlan(rp)
+		}
+	}
+	return scanQueryPlan(p, n)
+}
+
+func bestOrderPred(cache *pliCache, cross []compiledPred) int {
+	for k, p := range cross {
+		if p.cross && isOrderOp(p.op) &&
+			cache.rel.Columns[p.a].Type.Numeric() && cache.rel.Columns[p.b].Type.Numeric() {
+			return k
+		}
+	}
+	return -1
+}
+
+func joinQueryPlan(pp *pliPlan) *queryPlan {
+	shape := ShapeEqJoin
+	if pp.build != nil {
+		shape = ShapeCrossJoin
+	}
+	qp := &queryPlan{shape: shape, join: pp}
+	qp.explain = PlanExplain{
+		Shape:    shape,
+		JoinCols: pp.joinCols,
+		EstPairs: pp.estPairs,
+		Residual: specStrings(pp.residual),
+	}
+	if pp.driver != nil {
+		qp.explain.Range = pp.driver.spec.String()
+	}
+	return qp
+}
+
+func rangeQueryPlan(rp *rangeProbe) *queryPlan {
+	return &queryPlan{
+		shape: ShapeRange,
+		rng:   rp,
+		explain: PlanExplain{
+			Shape:    ShapeRange,
+			Range:    rp.driver.spec.String(),
+			EstPairs: rp.est,
+			Residual: specStrings(rp.residual),
+		},
+	}
+}
+
+func scanQueryPlan(p *dcPlan, n int) *queryPlan {
+	return &queryPlan{
+		shape:    ShapeScan,
+		residual: p.cross,
+		explain: PlanExplain{
+			Shape:    ShapeScan,
+			EstPairs: maskedRows(p.mask, n) * int64(n-1),
+			Residual: specStrings(p.cross),
+		},
+	}
+}
+
+func specStrings(preds []compiledPred) []string {
+	if len(preds) == 0 {
+		return nil
+	}
+	out := make([]string, len(preds))
+	for k, p := range preds {
+		out[k] = p.spec.String()
+	}
+	return out
+}
+
+// pathName maps a plan shape to the coarse Path name results report
+// (both join shapes are the historical "pli" path).
+func pathName(shape string) string {
+	switch shape {
+	case ShapeEqJoin, ShapeCrossJoin:
+		return PathPLI
+	case ShapeRange:
+		return PathRange
+	}
+	return PathScan
+}

@@ -7,19 +7,35 @@
 // greedy repair set: the tuples to delete so that every constraint
 // holds.
 //
-// Each DC is executed by one of two paths, chosen by a cost heuristic:
+// Each DC is executed by a plan chosen by a greedy cost-ordered
+// planner: predicate selectivities are estimated from PLI column
+// statistics (cluster counts, rank cardinalities — pli.ColStats, no
+// index build required), cross-tuple predicates are ordered by
+// estimated cost-to-refute, and the cheapest of three executor shapes
+// runs:
 //
-//   - The PLI path joins the DC's cross-tuple equality predicates via
-//     position-list-index cluster intersection (package pli, the same
-//     machinery behind the fast evidence builder), so only pairs inside
-//     intersected clusters are ever examined. It wins whenever equality
-//     predicates are selective — functional-dependency-shaped DCs, keys.
-//   - The scan path is a sharded, goroutine-parallel refutation scan
+//   - The PLI join shapes (eqjoin, crossjoin) cascade the DC's
+//     cross-tuple equality predicates into a position-list-index
+//     cluster-intersection join (package pli, the same machinery behind
+//     the fast evidence builder), most selective equality first, so
+//     only pairs inside intersected clusters are ever examined; an
+//     order predicate in the residual is pushed into binary-searched
+//     per-group probes. Wins whenever equality predicates are selective
+//     — functional-dependency-shaped DCs, keys.
+//   - The range shape answers the DC's most selective order predicate
+//     (<, ≤, >, ≥) from the sorted numeric PLI: each probe row's
+//     qualifying partners are one contiguous slice of the build
+//     column's value-ordered rows, found by binary search, with only
+//     residual predicates evaluated per candidate. Wins on
+//     order-dominated DCs, which previously always fell to the scan.
+//   - The scan shape is a sharded, goroutine-parallel refutation scan
 //     over all ordered pairs with most-selective-first early exit per
-//     predicate. It is the general case: DCs with no useful equality
-//     predicate (pure order or inequality constraints).
+//     predicate — the general-case floor.
 //
-// Both paths produce identical violation sets (tests enforce this
+// The chosen plan is explicit: DCResult.Plan records the shape, join
+// cascade, pushed-down range predicate, residual order, and estimated
+// vs. actually-examined candidate pairs (dccheck -explain prints it).
+// All shapes produce identical violation sets (tests enforce this
 // against the O(n²·|P|) reference of predicate.DC.ViolatingPairs).
 package violation
 
@@ -34,9 +50,22 @@ import (
 
 // Execution path names for Options.Path and DCResult.Path.
 const (
-	PathAuto = "auto"
-	PathPLI  = "pli"
-	PathScan = "scan"
+	// PathAuto lets the greedy cost-ordered planner choose per DC;
+	// PathPlanner is an explicit synonym.
+	PathAuto    = "auto"
+	PathPlanner = "planner"
+	// PathPLI forces the cluster-intersection join (scan fallback when
+	// the DC has no equality predicate); PathRange forces the
+	// sorted-rank range probe (scan fallback without an order
+	// predicate); PathScan forces the refutation scan.
+	PathPLI   = "pli"
+	PathRange = "range"
+	PathScan  = "scan"
+	// PathBinary is the historical two-way choice (join iff its
+	// candidate pairs, scaled by pliAdvantage, undercut the full scan;
+	// no range shape) — kept selectable so planner wins stay measurable
+	// against it.
+	PathBinary = "binary"
 )
 
 // pliAdvantage is the cost-heuristic margin: the PLI path is chosen when
@@ -48,9 +77,11 @@ const pliAdvantage = 2
 // path per DC, uses GOMAXPROCS workers, and records every violating
 // pair.
 type Options struct {
-	// Path forces an execution path: "auto" (default; per-DC cost
-	// heuristic), "pli", or "scan". Forcing "pli" on a DC with no
-	// equality predicate falls back to the scan (reported in
+	// Path forces an execution path: "auto"/"planner" (default; per-DC
+	// greedy planner), "pli", "range", "scan", or "binary" (the
+	// historical two-way heuristic). Forcing "pli" on a DC with no
+	// equality predicate, or "range" without an order predicate over
+	// numeric columns, falls back to the scan (reported in
 	// DCResult.Path).
 	Path string
 	// Workers is the number of goroutines per DC; 0 means GOMAXPROCS.
@@ -64,11 +95,17 @@ type Options struct {
 }
 
 func (o Options) validate() error {
+	if o.MaxPairs < 0 {
+		// A negative cap would slip past both branches of collector.add
+		// (neither "uncapped" nor ever reaching the cap) and silently
+		// degrade to an unbounded sorted-insertion pair list.
+		return fmt.Errorf("violation: negative MaxPairs %d (use 0 to keep all pairs)", o.MaxPairs)
+	}
 	switch o.Path {
-	case "", PathAuto, PathPLI, PathScan:
+	case "", PathAuto, PathPlanner, PathPLI, PathRange, PathScan, PathBinary:
 		return nil
 	}
-	return fmt.Errorf("violation: unknown path %q (want auto, pli, or scan)", o.Path)
+	return fmt.Errorf("violation: unknown path %q (want auto, planner, pli, range, scan, or binary)", o.Path)
 }
 
 // DCResult is the violation report of one denial constraint.
@@ -91,8 +128,13 @@ type DCResult struct {
 	// approximation semantics: violating-pair fraction, violating-tuple
 	// fraction, and greedy-repair fraction (Figure 2).
 	LossF1, LossF2, LossF3 float64
-	// Path records the execution path that ran ("pli" or "scan").
+	// Path records the execution path that ran ("pli", "range", or
+	// "scan").
 	Path string
+	// Plan is the executed query plan: shape, join cascade, pushed-down
+	// range predicate, residual order, and estimated vs. examined
+	// candidate pairs.
+	Plan *PlanExplain
 }
 
 // Report is the outcome of checking a set of DCs against a relation.
