@@ -25,10 +25,14 @@
 //	dcserved -data-dir /var/lib/dcserved   # persistent sessions
 //
 // With -data-dir, every registered session is snapshotted to disk in a
-// columnar format (and re-snapshotted after appends), LRU eviction
-// spills sessions to disk instead of discarding them, touched spilled
-// sessions restore by mmap attach — no CSV re-ingest, no index rebuild
-// — and a restarted server resumes every session the directory holds.
+// columnar format, every acked append batch is fsynced to the
+// session's write-ahead log before the 200 (so a kill -9 loses no
+// acked append), LRU eviction spills sessions to disk instead of
+// discarding them, touched spilled sessions restore by mmap attach
+// plus WAL replay — no CSV re-ingest, no index rebuild — and a
+// restarted server resumes every session the directory holds. On disk
+// failure (ENOSPC, EIO) sessions degrade to memory-only serving,
+// flagged on /healthz, instead of failing requests.
 //
 // SIGINT/SIGTERM triggers a graceful shutdown: in-flight requests get
 // -shutdown-grace to finish before the listener is torn down.
@@ -60,16 +64,20 @@ func main() {
 		pprofOn     = flag.Bool("pprof", false, "serve /debug/pprof/ profiling endpoints (do not expose publicly)")
 		ingWorkers  = flag.Int("ingest-workers", 0, "CSV ingest parse workers (0 = GOMAXPROCS)")
 		chunkRows   = flag.Int("chunk-rows", 0, "CSV ingest rows per parse chunk (0 = default)")
-		dataDir     = flag.String("data-dir", "", "persistent session storage directory: sessions snapshot here, evictions spill to disk, restarts resume (empty = in-memory only)")
+		dataDir     = flag.String("data-dir", "", "persistent session storage directory: sessions snapshot here, acked appends land in a per-session WAL, evictions spill to disk, restarts resume (empty = in-memory only)")
+		walSync     = flag.Bool("wal-sync", true, "fsync every WAL record before acking its append; false survives process crashes but not power loss")
+		snapEvery   = flag.Int("snapshot-every", 64, "WAL records accumulated before an append triggers a compacting snapshot")
 	)
 	flag.Parse()
 
 	srv, err := server.New(server.Config{
-		MaxDatasets:  *maxDatasets,
-		MaxMemBytes:  *maxMemMB << 20,
-		MaxBodyBytes: *maxBodyMB << 20,
-		Ingest:       adc.IngestOptions{Workers: *ingWorkers, ChunkRows: *chunkRows},
-		DataDir:      *dataDir,
+		MaxDatasets:   *maxDatasets,
+		MaxMemBytes:   *maxMemMB << 20,
+		MaxBodyBytes:  *maxBodyMB << 20,
+		Ingest:        adc.IngestOptions{Workers: *ingWorkers, ChunkRows: *chunkRows},
+		DataDir:       *dataDir,
+		WALNoSync:     !*walSync,
+		SnapshotEvery: *snapEvery,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "dcserved:", err)

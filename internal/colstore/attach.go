@@ -7,7 +7,18 @@ import (
 	"hash/fnv"
 	"io"
 	"os"
+	"sync/atomic"
 )
+
+// openAttachments counts live file mappings: incremented when Attach
+// establishes one, decremented when Snapshot.Close releases it. Tests
+// pin munmap-on-evict behavior against this.
+var openAttachments atomic.Int64
+
+// OpenAttachments returns the number of mmap attachments established
+// by Attach and not yet released by Snapshot.Close. On platforms where
+// Attach degrades to a heap load it stays zero.
+func OpenAttachments() int64 { return openAttachments.Load() }
 
 // Attach opens the snapshot at path with its large arrays aliased onto
 // a read-only file mapping: numeric columns, dictionary codes, string
@@ -27,6 +38,14 @@ func Attach(path string) (*Snapshot, error) {
 			closer() //nolint:errcheck // the decode error wins
 		}
 		return nil, err
+	}
+	if closer != nil {
+		openAttachments.Add(1)
+		inner := closer
+		closer = func() error {
+			openAttachments.Add(-1)
+			return inner()
+		}
 	}
 	snap.close = closer
 	return snap, nil

@@ -15,6 +15,7 @@ import (
 	"adc/internal/datagen"
 	"adc/internal/dataset"
 	"adc/internal/pli"
+	"adc/internal/storefs"
 )
 
 var update = flag.Bool("update", false, "regenerate testdata (golden snapshot and fuzz seed corpus)")
@@ -339,5 +340,107 @@ func TestWriteFileAtomic(t *testing.T) {
 	}
 	if len(entries) != 0 {
 		t.Errorf("failed WriteFile left %d files behind", len(entries))
+	}
+}
+
+func TestWriteFileSyncsParentDir(t *testing.T) {
+	// The rename only becomes crash-durable once the parent directory
+	// is fsynced; pin both that the syncdir happens and that it happens
+	// after the rename.
+	dir := t.TempDir()
+	path := filepath.Join(dir, "small.adcs")
+	ff := storefs.NewFaulty(nil)
+	if err := WriteFileFS(ff, path, smallSnapshot(t)); err != nil {
+		t.Fatalf("WriteFileFS: %v", err)
+	}
+	renameAt, syncdirAt := -1, -1
+	for i, op := range ff.Log() {
+		if strings.HasPrefix(op, "rename ") {
+			renameAt = i
+		}
+		if strings.HasPrefix(op, "syncdir "+dir) {
+			syncdirAt = i
+		}
+	}
+	if renameAt < 0 {
+		t.Fatalf("no rename in op log %q", ff.Log())
+	}
+	if syncdirAt < 0 {
+		t.Fatalf("parent directory never fsynced; op log %q", ff.Log())
+	}
+	if syncdirAt < renameAt {
+		t.Fatalf("dir fsync at op %d precedes rename at op %d", syncdirAt, renameAt)
+	}
+}
+
+func TestWriteFileFSErrorPaths(t *testing.T) {
+	// Whatever operation fails, the error must surface and the final
+	// path must not exist (a torn snapshot under the real name is the
+	// one unacceptable outcome).
+	snap := smallSnapshot(t)
+	boom := errors.New("boom")
+	// A full successful write's op count bounds the injection points.
+	probe := storefs.NewFaulty(nil)
+	if err := WriteFileFS(probe, filepath.Join(t.TempDir(), "probe.adcs"), snap); err != nil {
+		t.Fatalf("probe write: %v", err)
+	}
+	total := probe.Ops()
+	for n := int64(1); n <= total; n++ {
+		for _, kind := range []storefs.FaultKind{storefs.FaultErr, storefs.FaultShortWrite} {
+			dir := t.TempDir()
+			path := filepath.Join(dir, "small.adcs")
+			ff := storefs.NewFaulty(nil)
+			ff.InjectAt(n, kind, boom)
+			err := WriteFileFS(ff, path, snap)
+			if ff.Ops() < n {
+				continue // fault never reached (fewer ops on this path)
+			}
+			if err == nil {
+				// Only best-effort ops (the deferred temp Remove) may
+				// swallow a fault — and then the snapshot must be whole.
+				if _, rErr := ReadMeta(path); rErr != nil {
+					t.Fatalf("op %d kind %d: fault swallowed and snapshot unreadable: %v", n, kind, rErr)
+				}
+				continue
+			}
+			// The rename is the commit point: before it the final path
+			// must not exist; at or after it the file must be complete.
+			if _, statErr := os.Stat(path); statErr == nil {
+				if _, rErr := ReadMeta(path); rErr != nil {
+					t.Fatalf("op %d kind %d: torn snapshot under final name: %v", n, kind, rErr)
+				}
+			}
+		}
+	}
+}
+
+func TestOpenAttachmentsCounter(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "small.adcs")
+	if err := WriteFile(path, smallSnapshot(t)); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	base := OpenAttachments()
+	snap, err := Attach(path)
+	if err != nil {
+		t.Fatalf("attach: %v", err)
+	}
+	if snap.close == nil {
+		t.Skip("no mmap on this platform")
+	}
+	if got := OpenAttachments(); got != base+1 {
+		t.Fatalf("after Attach: OpenAttachments = %d, want %d", got, base+1)
+	}
+	if err := snap.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	if got := OpenAttachments(); got != base {
+		t.Fatalf("after Close: OpenAttachments = %d, want %d", got, base)
+	}
+	// Double Close must not double-decrement.
+	if err := snap.Close(); err != nil {
+		t.Fatalf("second close: %v", err)
+	}
+	if got := OpenAttachments(); got != base {
+		t.Fatalf("after double Close: OpenAttachments = %d, want %d", got, base)
 	}
 }

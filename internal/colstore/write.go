@@ -8,12 +8,12 @@ import (
 	"hash/fnv"
 	"io"
 	"math"
-	"os"
 	"path/filepath"
 	"slices"
 
 	"adc/internal/dataset"
 	"adc/internal/pli"
+	"adc/internal/storefs"
 )
 
 // enc builds one section payload. All layout decisions live in the
@@ -237,18 +237,31 @@ func encodePLI(j int, idx *pli.Index, rows int) ([]byte, error) {
 	return e.b, nil
 }
 
-// WriteFile atomically writes the snapshot to path: the bytes land in
-// a temp file in the same directory, are fsynced, and are renamed into
-// place, so a crash mid-write can never leave a torn snapshot under
-// the final name (dcserved's crash-safety rests on this).
+// WriteFile atomically writes the snapshot to path via WriteFileFS
+// over the real filesystem.
 func WriteFile(path string, snap *Snapshot) error {
+	return WriteFileFS(storefs.Std, path, snap)
+}
+
+// WriteFileFS atomically writes the snapshot to path through fsys (nil
+// means the real filesystem): the bytes land in a temp file in the
+// same directory, are fsynced, and are renamed into place, so a crash
+// mid-write can never leave a torn snapshot under the final name
+// (dcserved's crash-safety rests on this). The parent directory is
+// fsynced after the rename — without that, the rename lives only in
+// the directory's page cache and power loss can resurrect the old
+// snapshot, or no snapshot at all.
+func WriteFileFS(fsys storefs.FS, path string, snap *Snapshot) error {
+	if fsys == nil {
+		fsys = storefs.Std
+	}
 	dir := filepath.Dir(path)
-	f, err := os.CreateTemp(dir, ".colstore-*.tmp")
+	f, err := fsys.CreateTemp(dir, ".colstore-*.tmp")
 	if err != nil {
 		return err
 	}
 	tmp := f.Name()
-	defer os.Remove(tmp) //nolint:errcheck // no-op after the rename
+	defer fsys.Remove(tmp) //nolint:errcheck // no-op after the rename
 	if err := Write(f, snap); err != nil {
 		f.Close()
 		return err
@@ -260,8 +273,11 @@ func WriteFile(path string, snap *Snapshot) error {
 	if err := f.Close(); err != nil {
 		return err
 	}
-	if err := os.Chmod(tmp, 0o644); err != nil {
+	if err := fsys.Chmod(tmp, 0o644); err != nil {
 		return err
 	}
-	return os.Rename(tmp, path)
+	if err := fsys.Rename(tmp, path); err != nil {
+		return err
+	}
+	return fsys.SyncDir(dir)
 }

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -95,3 +96,57 @@ func BenchmarkServerValidateCold(b *testing.B) {
 		benchValidate(b, ts, id, body)
 	}
 }
+
+// benchAppend posts one append batch and fails on any non-200.
+func benchAppend(b *testing.B, ts *httptest.Server, id string, body []byte) {
+	b.Helper()
+	resp, err := ts.Client().Post(ts.URL+"/datasets/"+id+"/rows", "application/json", bytes.NewReader(body))
+	if err != nil {
+		b.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body) //nolint:errcheck // drain for keep-alive
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b.Fatalf("append: status %d", resp.StatusCode)
+	}
+}
+
+// benchAppendWAL measures the append request path against a persistent
+// session: derive the copy-on-write successor, write one WAL record
+// (fsynced unless noSync), swap, ack. SnapshotEvery is set out of
+// reach so the loop never pays for a compacting snapshot — that cost
+// is periodic and amortized, while this benchmark isolates the
+// per-append WAL overhead the durability gate bounds.
+func benchAppendWAL(b *testing.B, noSync bool) {
+	b.Helper()
+	s, ts := testServer(b, Config{
+		DataDir:       b.TempDir(),
+		WALNoSync:     noSync,
+		SnapshotEvery: 1 << 30,
+		MaxMemBytes:   1 << 40,
+	})
+	_ = s
+	id := ingestCSV(b, ts.Client(), ts.URL, benchCSV(2000))
+	rows := make([][]string, 1024)
+	for i := range rows {
+		zip := 200000 + i
+		rows[i] = []string{fmt.Sprint(zip), fmt.Sprintf("ST%02d", zip%47), fmt.Sprint(20000 + zip%997)}
+	}
+	body, err := json.Marshal(map[string]any{"rows": rows})
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchAppend(b, ts, id, body)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchAppend(b, ts, id, body)
+	}
+}
+
+// BenchmarkServerAppendWALOn is the durable configuration: every acked
+// batch fsynced to the WAL before the 200.
+func BenchmarkServerAppendWALOn(b *testing.B) { benchAppendWAL(b, false) }
+
+// BenchmarkServerAppendWALOff is the same path with the per-record
+// fsync skipped — the denominator of the WAL-overhead gate.
+func BenchmarkServerAppendWALOff(b *testing.B) { benchAppendWAL(b, true) }

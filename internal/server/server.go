@@ -27,9 +27,11 @@ import (
 	"runtime"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"adc"
+	"adc/internal/storefs"
 )
 
 // noiseKind maps the wire names to the Section 8.4 noise models.
@@ -68,12 +70,28 @@ type Config struct {
 	Ingest adc.IngestOptions
 	// DataDir, when set, turns on the persistent storage tier: every
 	// session is snapshotted there (columnar format, see
-	// internal/colstore) at registration and after appends, LRU
-	// eviction spills sessions to disk instead of discarding them, a
-	// touched spilled session restores by mmap attach without CSV
-	// re-ingest or index rebuilds, and a restarted server resumes every
-	// session the directory holds. Empty disables persistence.
+	// internal/colstore) at registration, every acked append batch is
+	// fsynced to the session's write-ahead log before the 200 (see
+	// internal/wal), LRU eviction spills sessions to disk instead of
+	// discarding them, a touched spilled session restores by mmap
+	// attach plus WAL replay without CSV re-ingest or index rebuilds,
+	// and a restarted server resumes every session the directory holds
+	// — acked appends included. Empty disables persistence.
 	DataDir string
+	// WALNoSync skips the per-record WAL fsync. Acked appends then
+	// survive a process crash but not a power cut. The default (false)
+	// fsyncs every record before the ack.
+	WALNoSync bool
+	// SnapshotEvery is the number of WAL records a session accumulates
+	// before an append triggers a full snapshot (which compacts the
+	// WAL away). Durability does not depend on it — every acked batch
+	// is in the WAL regardless — it only bounds replay work and log
+	// growth. 0 means the default of 64.
+	SnapshotEvery int
+	// FS overrides the filesystem the storage tier writes through.
+	// nil means the real filesystem; tests inject storefs.Faulty here
+	// to exercise disk-failure paths.
+	FS storefs.FS
 }
 
 func (c Config) withDefaults() Config {
@@ -85,6 +103,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxBodyBytes == 0 {
 		c.MaxBodyBytes = 64 << 20
+	}
+	if c.SnapshotEvery == 0 {
+		c.SnapshotEvery = 64
 	}
 	return c
 }
@@ -99,13 +120,22 @@ type Server struct {
 	delta   deltaMetrics
 	mux     *http.ServeMux
 	started time.Time
+
+	// minePanics counts mining goroutines that panicked and were
+	// recovered into failed jobs instead of killing the server.
+	minePanics atomic.Int64
 }
+
+// mineJobHook, when non-nil, runs at the start of every mining job —
+// a test seam for exercising the panic-recovery path with a
+// deliberately panicking dataset hook.
+var mineJobHook func(dataset string)
 
 // New builds a Server with the given configuration. It errors only
 // when Config.DataDir is set and cannot be created.
 func New(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
-	store, err := newStorage(cfg.DataDir)
+	store, err := newStorage(cfg.DataDir, cfg.FS, cfg.WALNoSync)
 	if err != nil {
 		return nil, fmt.Errorf("server: data dir: %w", err)
 	}
@@ -192,7 +222,9 @@ func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
 	return true
 }
 
-// findSession resolves {id} or writes a 404.
+// findSession resolves {id} or writes a 404. A non-nil session
+// carries a reference pinning its mapped memory; the handler must
+// release it when done.
 func (s *Server) findSession(w http.ResponseWriter, r *http.Request) *session {
 	id := r.PathValue("id")
 	sess := s.reg.get(id)
@@ -383,6 +415,7 @@ func (s *Server) registerDataset(w http.ResponseWriter, name string, rel *adc.Re
 		return
 	}
 	sess, evicted := s.reg.add(name, rel, golden)
+	defer sess.release()
 	v := viewOf(sess)
 	v.Evicted = evicted
 	writeJSON(w, http.StatusCreated, v)
@@ -390,6 +423,7 @@ func (s *Server) registerDataset(w http.ResponseWriter, name string, rel *adc.Re
 
 func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
 	sessions := s.reg.list()
+	defer releaseAll(sessions)
 	out := make([]datasetView, 0, len(sessions))
 	for _, sess := range sessions {
 		out = append(out, viewOf(sess))
@@ -403,6 +437,7 @@ func (s *Server) handleInfo(w http.ResponseWriter, r *http.Request) {
 	if sess == nil {
 		return
 	}
+	defer sess.release()
 	writeJSON(w, http.StatusOK, viewOf(sess))
 }
 
@@ -420,6 +455,7 @@ func (s *Server) handleInvalidate(w http.ResponseWriter, r *http.Request) {
 	if sess == nil {
 		return
 	}
+	defer sess.release()
 	sess.invalidate()
 	writeJSON(w, http.StatusOK, map[string]any{"invalidated": sess.id})
 }
@@ -437,6 +473,7 @@ func (s *Server) handleAppend(w http.ResponseWriter, r *http.Request) {
 	if sess == nil {
 		return
 	}
+	defer sess.release()
 	var req appendRequest
 	if !decodeBody(w, r, &req) {
 		return
@@ -450,7 +487,14 @@ func (s *Server) handleAppend(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	s.reg.save(sess)           // append-quiesce: re-snapshot the grown relation
+	// Durability already happened inside append: the batch's WAL record
+	// was fsynced before the rows became visible. A full snapshot runs
+	// only when the log has accumulated SnapshotEvery records — it
+	// compacts the WAL away — or as a fallback when the session has no
+	// WAL at all (the pre-WAL snapshot-per-append behavior).
+	if sess.wal == nil || sess.wal.Records() >= int64(s.cfg.SnapshotEvery) {
+		s.reg.save(sess)
+	}
 	evicted := s.reg.enforce() // the session grew; re-apply the memory cap
 	writeJSON(w, http.StatusOK, map[string]any{
 		"rows":            rows,
@@ -511,6 +555,7 @@ func (s *Server) handleValidate(w http.ResponseWriter, r *http.Request) {
 	if sess == nil {
 		return
 	}
+	defer sess.release()
 	var req checkRequest
 	if !decodeBody(w, r, &req) {
 		return
@@ -579,6 +624,7 @@ func (s *Server) handleRepair(w http.ResponseWriter, r *http.Request) {
 	if sess == nil {
 		return
 	}
+	defer sess.release()
 	var req checkRequest
 	if !decodeBody(w, r, &req) {
 		return
@@ -649,6 +695,7 @@ func (s *Server) handleMine(w http.ResponseWriter, r *http.Request) {
 	if sess == nil {
 		return
 	}
+	defer sess.release()
 	var req mineRequest
 	if !decodeBody(w, r, &req) {
 		return
@@ -665,14 +712,29 @@ func (s *Server) handleMine(w http.ResponseWriter, r *http.Request) {
 		MaxPredicates:  req.MaxPredicates,
 	}
 	j := s.jobs.create(sess.id)
-	go s.runMine(j, sess, opts)
+	// The goroutine takes its own reference — the handler's is released
+	// when the 202 goes out, but the job may run for minutes and must
+	// keep the session's mapped memory pinned the whole time.
+	go s.runMine(j, sess.acquire(), opts)
 	writeJSON(w, http.StatusAccepted, map[string]any{"job": j.id, "dataset": sess.id})
 }
 
 // runMine executes a mining job against the session's current state.
 // The captured checker and cache stay valid even if an append swaps
 // the session forward mid-run; the job then describes the rows it saw.
+// A panic anywhere in mining is recovered into a failed job — one bad
+// dataset must not take down every session the server holds.
 func (s *Server) runMine(j *job, sess *session, opts adc.Options) {
+	defer sess.release()
+	defer func() {
+		if p := recover(); p != nil {
+			s.minePanics.Add(1)
+			j.finish(nil, fmt.Errorf("mine panicked: %v", p))
+		}
+	}()
+	if mineJobHook != nil {
+		mineJobHook(sess.name)
+	}
 	checker, mineCache := sess.state()
 	opts.Cache = mineCache
 	// Share the checker's column indexes with evidence construction:
@@ -721,12 +783,17 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	sessions, _, _, _, _, _, _ := s.reg.stats()
+	degraded := s.reg.degraded()
 	writeJSON(w, http.StatusOK, map[string]any{
 		"ok":          true,
 		"uptime_s":    time.Since(s.started).Seconds(),
 		"datasets":    sessions,
 		"jobs_active": s.jobs.running(),
-		"go":          runtime.Version(),
+		// storage_degraded flags sessions serving memory-only after a
+		// disk failure (ENOSPC, EIO): still correct, no longer durable.
+		"storage_degraded":  degraded > 0,
+		"degraded_datasets": degraded,
+		"go":                runtime.Version(),
 	})
 }
 
@@ -741,11 +808,13 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	// this dataset's mining jobs (cache hits included — the histogram
 	// shows serving reality) and the latest distinct-set count.
 	evidence := make(map[string]evidenceStats)
-	for _, sess := range s.reg.list() {
+	live := s.reg.list()
+	for _, sess := range live {
 		if st, ok := sess.evidenceSnapshot(); ok {
 			evidence[sess.id] = st
 		}
 	}
+	releaseAll(live)
 	writeJSON(w, http.StatusOK, map[string]any{
 		"uptime_s": time.Since(s.started).Seconds(),
 		"requests": requests,
@@ -768,5 +837,6 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		"evidence_delta": s.delta.snapshot(),
 		"storage":        s.reg.storageStats(),
 		"jobs_active":    s.jobs.running(),
+		"mine_panics":    s.minePanics.Load(),
 	})
 }

@@ -3,9 +3,12 @@ package server
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"adc"
+	"adc/internal/colstore"
+	"adc/internal/wal"
 )
 
 // session is the cached serving state of one registered dataset: the
@@ -36,10 +39,32 @@ type session struct {
 	evMu       sync.Mutex
 	evHist     *histogram
 	evDistinct int
+
+	// Persistence (nil/zero without a data directory). wal is the
+	// session's append log — every acked append batch is one fsynced
+	// record, written under appendMu; store points back at the tier for
+	// error accounting; snap is the mmap-attached snapshot a restored
+	// session aliases, released when the last reference drops.
+	wal   *wal.Log
+	store *storage
+	snap  *colstore.Snapshot
+
+	// degraded latches when a WAL or snapshot write fails (ENOSPC,
+	// EIO): the session keeps serving from memory, stops promising
+	// durability, and /healthz flags it.
+	degraded atomic.Bool
+
+	// refs counts users of the session's mapped memory: the registry
+	// holds one reference, every in-flight request or mine job holds
+	// another. When the count reaches zero — the registry dropped the
+	// session (evict, DELETE) and the last request finished — the mmap
+	// and the WAL handle are released. A plain close-on-evict would
+	// munmap pages a concurrent validate is still reading.
+	refs atomic.Int64
 }
 
 func newSession(id, name string, rel *adc.Relation, golden []string) *session {
-	return &session{
+	s := &session{
 		id:      id,
 		name:    name,
 		created: time.Now(),
@@ -47,6 +72,31 @@ func newSession(id, name string, rel *adc.Relation, golden []string) *session {
 		checker: adc.NewChecker(rel),
 		mine:    adc.NewMineCache(),
 		evHist:  newHistogram(),
+	}
+	s.refs.Store(1) // the registry's reference
+	return s
+}
+
+// acquire takes a reference for an in-flight user (request handler,
+// mine job). Every acquire must be paired with a release.
+func (s *session) acquire() *session {
+	s.refs.Add(1)
+	return s
+}
+
+// release drops one reference; the last one out closes the session's
+// WAL handle and munmaps its attached snapshot. The registry's own
+// reference is dropped by evict/remove, so for a live session this
+// never reaches zero.
+func (s *session) release() {
+	if s.refs.Add(-1) > 0 {
+		return
+	}
+	if s.wal != nil {
+		s.wal.Close() //nolint:errcheck // nothing to do at teardown
+	}
+	if s.snap != nil {
+		s.snap.Close() //nolint:errcheck // nothing to do at teardown
 	}
 }
 
@@ -110,6 +160,18 @@ func (s *session) append(records [][]string) (rows, patched, dropped int, err er
 	next, patched, dropped, err := cur.AppendRows(records)
 	if err != nil {
 		return 0, 0, 0, err
+	}
+	// Durability point: the batch's WAL record is on disk (fsynced,
+	// unless the tier runs with sync off) before the swap that makes the
+	// rows visible and the 200 that acks them. A WAL write failure
+	// (ENOSPC, EIO) degrades the session to memory-only serving instead
+	// of failing the request — the ack then promises consistency, not
+	// durability, and /healthz says so.
+	if s.wal != nil && !s.degraded.Load() {
+		if werr := s.wal.Append(cur.Relation().NumRows(), records); werr != nil {
+			s.degraded.Store(true)
+			s.store.noteWALError(werr)
+		}
 	}
 	s.mu.Lock()
 	s.checker = next
@@ -179,6 +241,7 @@ func newRegistry(maxSessions int, maxBytes int64, store *storage) *registry {
 // storage attached, the new session is snapshotted immediately (before
 // any index is built — the spill and append paths re-save with warm
 // indexes), so a crash right after registration still restores it.
+// The returned session carries a reference; the caller must release it.
 func (r *registry) add(name string, rel *adc.Relation, golden []string) (*session, []string) {
 	r.mu.Lock()
 	r.nextID++
@@ -186,14 +249,17 @@ func (r *registry) add(name string, rel *adc.Relation, golden []string) (*sessio
 	s := newSession(id, name, rel, golden)
 	r.byID[id] = s
 	r.order = append(r.order, id)
+	s.acquire() // the caller's reference
 	evicted := r.enforceLocked()
 	r.mu.Unlock()
 	r.store.save(s) //nolint:errcheck // best-effort; counted in storage stats
+	r.store.openWAL(s)
 	return s, evicted
 }
 
 // get returns the session and marks it most recently used, restoring
-// it from its snapshot first if it was spilled to disk.
+// it from its snapshot first if it was spilled to disk. The returned
+// session carries a reference; the caller must release it.
 func (r *registry) get(id string) *session {
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -209,11 +275,12 @@ func (r *registry) get(id string) *session {
 		delete(r.spilled, id)
 		r.byID[id] = restored
 		r.order = append(r.order, id)
+		restored.acquire()
 		r.enforceLocked() // restoring may push another session out
 		return restored
 	}
 	r.touchLocked(id)
-	return s
+	return s.acquire()
 }
 
 // save re-snapshots a session (the append-quiesce path: the relation
@@ -231,12 +298,15 @@ func (r *registry) touchLocked(id string) {
 	}
 }
 
-// remove deletes a session — live or spilled — and its snapshot file;
-// reports whether it existed.
+// remove deletes a session — live or spilled — and its snapshot and
+// WAL files; reports whether it existed. The registry's reference is
+// dropped, so the mmap and WAL handle close as soon as the last
+// in-flight request finishes (immediately, when there is none).
 func (r *registry) remove(id string) bool {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if _, ok := r.byID[id]; !ok {
+	s, ok := r.byID[id]
+	if !ok {
 		if _, spilled := r.spilled[id]; !spilled {
 			return false
 		}
@@ -252,18 +322,41 @@ func (r *registry) remove(id string) bool {
 		}
 	}
 	r.store.remove(id)
+	s.release()
 	return true
 }
 
-// list returns the sessions, least recently used first.
+// list returns the sessions, least recently used first, each carrying
+// a reference; the caller must release them (releaseAll).
 func (r *registry) list() []*session {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
 	out := make([]*session, 0, len(r.order))
 	for _, id := range r.order {
-		out = append(out, r.byID[id])
+		out = append(out, r.byID[id].acquire())
 	}
 	return out
+}
+
+// releaseAll releases the references a list()-style call acquired.
+func releaseAll(sessions []*session) {
+	for _, s := range sessions {
+		s.release()
+	}
+}
+
+// degraded counts live sessions serving memory-only after a storage
+// failure.
+func (r *registry) degraded() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	n := 0
+	for _, s := range r.byID {
+		if s.degraded.Load() {
+			n++
+		}
+	}
+	return n
 }
 
 // enforce applies the caps (called after appends grow a session).
@@ -276,12 +369,16 @@ func (r *registry) enforce() []string {
 // enforceLocked evicts least-recently-used sessions while over the
 // session-count or memory cap. The most recently used session always
 // survives, even if it alone exceeds the memory cap — a server that
-// evicts its only dataset can serve nothing. With storage attached,
-// the victim is snapshotted first — capturing every index built since
-// the last save — and parked in the spilled map, so eviction demotes
-// the session to disk instead of destroying it; it restores on next
-// touch without re-ingest or re-indexing. Only if the save fails does
-// eviction fall back to discarding (the pre-storage behavior).
+// evicts its only dataset can serve nothing — and so does any session
+// with an in-flight request or mine job (refs above the registry's
+// own): evicting one would munmap pages the request is still reading.
+// With storage attached, the victim is snapshotted first — capturing
+// every index built since the last save — and parked in the spilled
+// map, so eviction demotes the session to disk instead of destroying
+// it; it restores on next touch without re-ingest or re-indexing.
+// Only if the save fails does eviction fall back to discarding (the
+// pre-storage behavior). Either way the registry's reference drops,
+// closing the victim's mmap and WAL handle.
 func (r *registry) enforceLocked() []string {
 	var evicted []string
 	for len(r.order) > 1 {
@@ -296,9 +393,19 @@ func (r *registry) enforceLocked() []string {
 		if !over {
 			break
 		}
-		victim := r.order[0]
+		k := -1
+		for i := 0; i < len(r.order)-1; i++ {
+			if s := r.byID[r.order[i]]; s != nil && s.refs.Load() == 1 {
+				k = i
+				break
+			}
+		}
+		if k < 0 {
+			break // every candidate is busy; the caps wait for them
+		}
+		victim := r.order[k]
 		s := r.byID[victim]
-		r.order = r.order[1:]
+		r.order = append(r.order[:k], r.order[k+1:]...)
 		delete(r.byID, victim)
 		r.evictions++
 		evicted = append(evicted, victim)
@@ -321,6 +428,9 @@ func (r *registry) enforceLocked() []string {
 				r.store.mu.Unlock()
 			}
 		}
+		if s != nil {
+			s.release()
+		}
 	}
 	return evicted
 }
@@ -341,7 +451,7 @@ func (r *registry) storageStats() storageStats {
 	r.mu.RLock()
 	spilled := len(r.spilled)
 	r.mu.RUnlock()
-	return r.store.stats(spilled)
+	return r.store.stats(spilled, r.degraded())
 }
 
 // stats aggregates registry-wide cache statistics for /metrics.
@@ -349,10 +459,11 @@ func (r *registry) stats() (sessions int, memBytes int64, planHits, planMisses, 
 	r.mu.RLock()
 	all := make([]*session, 0, len(r.byID))
 	for _, s := range r.byID {
-		all = append(all, s)
+		all = append(all, s.acquire())
 	}
 	evictions = r.evictions
 	r.mu.RUnlock()
+	defer releaseAll(all)
 	sessions = len(all)
 	for _, s := range all {
 		checker, _ := s.state()
@@ -374,9 +485,10 @@ func (r *registry) planShapes() map[string]int64 {
 	r.mu.RLock()
 	all := make([]*session, 0, len(r.byID))
 	for _, s := range r.byID {
-		all = append(all, s)
+		all = append(all, s.acquire())
 	}
 	r.mu.RUnlock()
+	defer releaseAll(all)
 	total := make(map[string]int64)
 	for _, s := range all {
 		checker, _ := s.state()

@@ -12,49 +12,110 @@ import (
 	"adc"
 	"adc/internal/colstore"
 	"adc/internal/pli"
+	"adc/internal/storefs"
+	"adc/internal/wal"
 )
 
 // storage is the persistent tier behind a data directory: every
-// registered session is snapshotted to <dir>/<id>.adcs (atomically, via
-// colstore.WriteFile) at registration and after each append, eviction
-// spills to disk instead of discarding, and get() restores spilled
-// sessions by mmap-attaching their snapshot — no CSV re-ingest, no PLI
-// rebuild. A restarted server scans the directory and resumes every
-// session it finds. nil *storage (no -data-dir) disables the tier;
-// every method no-ops.
+// registered session is snapshotted to <dir>/<id>.adcs (atomically,
+// via colstore.WriteFileFS) at registration, and every acked append
+// batch lands in the session's write-ahead log <dir>/<id>.adcw
+// (fsynced before the ack; see internal/wal) — a periodic snapshot
+// compacts the log away. Eviction spills to disk instead of
+// discarding, and get() restores spilled sessions by mmap-attaching
+// their snapshot and replaying the WAL on top — no CSV re-ingest, no
+// PLI rebuild, no lost acked appends. A restarted server scans the
+// directory and resumes every session it finds. All writes go through
+// the storefs seam, so fault-injection tests can exercise every error
+// path. nil *storage (no -data-dir) disables the tier; every method
+// no-ops.
 type storage struct {
-	dir string
+	dir       string
+	fsys      storefs.FS
+	walNoSync bool
 
 	mu          sync.Mutex
 	written     int64 // snapshots written (register, append, spill)
 	loaded      int64 // snapshots restored into live sessions
 	spills      int64 // evictions that went to disk instead of the void
 	writeErrors int64 // failed best-effort snapshot writes
+	walErrors   int64 // failed WAL opens/appends (each degrades a session)
+	walReplayed int64 // WAL batches replayed into restored sessions
+	walDropped  int64 // torn/corrupt WAL bytes discarded during recovery
 	restoreHist *histogram
 }
 
-func newStorage(dir string) (*storage, error) {
+func newStorage(dir string, fsys storefs.FS, walNoSync bool) (*storage, error) {
 	if dir == "" {
 		return nil, nil
 	}
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	if fsys == nil {
+		fsys = storefs.Std
+	}
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
-	return &storage{dir: dir, restoreHist: newHistogram()}, nil
+	return &storage{dir: dir, fsys: fsys, walNoSync: walNoSync, restoreHist: newHistogram()}, nil
 }
 
 func (st *storage) path(id string) string {
 	return filepath.Join(st.dir, id+".adcs")
 }
 
+func (st *storage) walPath(id string) string {
+	return filepath.Join(st.dir, id+".adcw")
+}
+
+// noteWALError counts a WAL failure (the caller degrades the session).
+func (st *storage) noteWALError(error) {
+	if st == nil {
+		return
+	}
+	st.mu.Lock()
+	st.walErrors++
+	st.mu.Unlock()
+}
+
+// openWAL attaches a fresh write-ahead log to a newly registered
+// session. Any stale content under the id (a crashed predecessor whose
+// files were never cleaned) is truncated away — the session's snapshot
+// was just written, so the log starts empty. On failure the session
+// simply runs without a WAL and falls back to snapshot-per-append.
+func (st *storage) openWAL(sess *session) {
+	if st == nil {
+		return
+	}
+	sess.store = st
+	l, rep, err := wal.Open(st.fsys, st.walPath(sess.id), wal.Options{NoSync: st.walNoSync})
+	if err != nil {
+		st.noteWALError(err)
+		return
+	}
+	if len(rep.Batches) > 0 {
+		if err := l.Truncate(); err != nil {
+			st.noteWALError(err)
+			l.Close() //nolint:errcheck // unusable anyway
+			return
+		}
+	}
+	sess.wal = l
+}
+
 // save snapshots a session's current state — relation, every PLI built
-// so far, and the registry metadata needed to restore the entry.
-// Best-effort: a failure is counted, not fatal, since the in-memory
-// session stays authoritative.
+// so far, and the registry metadata needed to restore the entry — and
+// compacts the session's WAL: once the snapshot covers every logged
+// batch, the log is truncated. It quiesces appends (appendMu) for the
+// duration, so no acked batch can slip between the snapshot and the
+// truncate and be lost; the lock order is registry.mu → appendMu,
+// matching every other path. Best-effort: a failure is counted, not
+// fatal, since the in-memory session stays authoritative — but a
+// failed snapshot leaves the WAL untouched, so durability holds.
 func (st *storage) save(sess *session) error {
 	if st == nil {
 		return nil
 	}
+	sess.appendMu.Lock()
+	defer sess.appendMu.Unlock()
 	checker, _ := sess.state()
 	sess.mu.RLock()
 	appends := sess.appends
@@ -69,7 +130,7 @@ func (st *storage) save(sess *session) error {
 			Created: sess.created.UTC().Format(time.RFC3339Nano),
 		},
 	}
-	err := colstore.WriteFile(st.path(sess.id), snap)
+	err := colstore.WriteFileFS(st.fsys, st.path(sess.id), snap)
 	st.mu.Lock()
 	if err != nil {
 		st.writeErrors++
@@ -77,15 +138,24 @@ func (st *storage) save(sess *session) error {
 		st.written++
 	}
 	st.mu.Unlock()
-	return err
+	if err != nil {
+		sess.degraded.Store(true)
+		return err
+	}
+	if sess.wal != nil {
+		if terr := sess.wal.Truncate(); terr != nil {
+			st.noteWALError(terr)
+		}
+	}
+	return nil
 }
 
-// restore revives a spilled session from its snapshot: the file is
-// mmap-attached (column data and indexes page in on first touch), the
-// index store is restored with every PLI the snapshot carries, and the
-// checker adopts it. The mapping stays open for the life of the
-// process — it is read-only and clean, so its pages cost address
-// space, not RAM, and the OS reclaims them under pressure.
+// restore revives a spilled session from its snapshot plus WAL: the
+// snapshot is mmap-attached (column data and indexes page in on first
+// touch), the index store is restored with every PLI the snapshot
+// carries, the checker adopts it, and any acked append batches logged
+// after the snapshot replay on top. The mapping is owned by the
+// session and released when its last reference drops (evict, DELETE).
 func (st *storage) restore(id string) (*session, error) {
 	start := time.Now()
 	snap, err := colstore.Attach(st.path(id))
@@ -102,6 +172,44 @@ func (st *storage) restore(id string) (*session, error) {
 		snap.Close() //nolint:errcheck // the restore error wins
 		return nil, err
 	}
+	// Open the WAL (salvaging its valid prefix, truncating any torn
+	// tail) and replay the batches the snapshot does not already cover.
+	// A batch whose base row count is below the snapshot's was compacted
+	// in before the crash (the crash hit between the snapshot rename and
+	// the WAL truncate) and is skipped; a gap above means bytes from a
+	// foreign or tampered file and stops the replay. A WAL that cannot
+	// be opened degrades the session rather than failing the restore —
+	// the snapshot alone is still a consistent (if older) state.
+	var sessWAL *wal.Log
+	applied := int64(0)
+	l, rep, werr := wal.Open(st.fsys, st.walPath(id), wal.Options{NoSync: st.walNoSync})
+	if werr != nil {
+		st.noteWALError(werr)
+	} else {
+		sessWAL = l
+		rows := snap.Relation.NumRows()
+		dropped := rep.DiscardedBytes
+		for _, b := range rep.Batches {
+			if b.BaseRows < rows {
+				continue // already inside the snapshot
+			}
+			if b.BaseRows > rows {
+				break
+			}
+			next, _, _, aerr := checker.AppendRows(b.Rows)
+			if aerr != nil {
+				st.noteWALError(fmt.Errorf("wal replay %s: %w", id, aerr))
+				break
+			}
+			checker = next
+			rows = next.Relation().NumRows()
+			applied++
+		}
+		st.mu.Lock()
+		st.walReplayed += applied
+		st.walDropped += dropped
+		st.mu.Unlock()
+	}
 	created, err := time.Parse(time.RFC3339Nano, snap.Meta.Created)
 	if err != nil {
 		created = time.Now()
@@ -113,8 +221,15 @@ func (st *storage) restore(id string) (*session, error) {
 		golden:  snap.Meta.Golden,
 		checker: checker,
 		mine:    adc.NewMineCache(),
-		appends: snap.Meta.Appends,
+		appends: snap.Meta.Appends + applied,
 		evHist:  newHistogram(),
+		wal:     sessWAL,
+		store:   st,
+		snap:    snap,
+	}
+	sess.refs.Store(1) // the registry's reference
+	if sessWAL == nil {
+		sess.degraded.Store(true)
 	}
 	st.mu.Lock()
 	st.loaded++
@@ -123,12 +238,14 @@ func (st *storage) restore(id string) (*session, error) {
 	return sess, nil
 }
 
-// remove deletes a session's snapshot file (DELETE /datasets/{id}).
+// remove deletes a session's snapshot and WAL files
+// (DELETE /datasets/{id}).
 func (st *storage) remove(id string) {
 	if st == nil {
 		return
 	}
-	os.Remove(st.path(id)) //nolint:errcheck // already gone is fine
+	st.fsys.Remove(st.path(id))    //nolint:errcheck // already gone is fine
+	st.fsys.Remove(st.walPath(id)) //nolint:errcheck // already gone is fine
 }
 
 // spillEntry is a session living only on disk: enough registry state to
@@ -142,13 +259,20 @@ type spillEntry struct {
 	appends int64
 }
 
-var snapshotName = regexp.MustCompile(`^(ds-(\d+))\.adcs$`)
+var (
+	snapshotName = regexp.MustCompile(`^(ds-(\d+))\.adcs$`)
+	walName      = regexp.MustCompile(`^(ds-(\d+))\.adcw$`)
+)
 
 // scan lists the data directory's snapshots as spill entries keyed by
 // session id, and returns the highest session number seen, so a
 // restarted server resumes its id sequence past every persisted
-// session. Unreadable or corrupt snapshots are skipped — a torn file
-// must not prevent startup.
+// session. Each entry's row and append counts include the acked
+// batches sitting in the session's WAL beyond its snapshot, so the
+// listing a crashed server's successor serves already reflects every
+// durable append — before any session is actually restored.
+// Unreadable or corrupt snapshots are skipped — a torn file must not
+// prevent startup.
 func (st *storage) scan() (map[string]*spillEntry, int) {
 	if st == nil {
 		return nil, 0
@@ -169,13 +293,28 @@ func (st *storage) scan() (map[string]*spillEntry, int) {
 			continue
 		}
 		id := m[1]
+		rows, appends := info.Rows, info.Meta.Appends
+		if rep, err := wal.Scan(st.fsys, st.walPath(id)); err == nil {
+			walRows := rows
+			for _, b := range rep.Batches {
+				if b.BaseRows < walRows {
+					continue
+				}
+				if b.BaseRows > walRows {
+					break
+				}
+				walRows += len(b.Rows)
+				appends++
+			}
+			rows = walRows
+		}
 		spilled[id] = &spillEntry{
 			name:    info.Meta.Name,
-			rows:    info.Rows,
+			rows:    rows,
 			columns: info.Columns,
 			golden:  info.Meta.Golden,
 			created: info.Meta.Created,
-			appends: info.Meta.Appends,
+			appends: appends,
 		}
 		if n, err := strconv.Atoi(m[2]); err == nil && n > maxID {
 			maxID = n
@@ -191,6 +330,10 @@ type storageStats struct {
 	SnapshotsLoaded  int64   `json:"snapshots_loaded"`
 	Spills           int64   `json:"spills"`
 	WriteErrors      int64   `json:"write_errors,omitempty"`
+	WALErrors        int64   `json:"wal_errors,omitempty"`
+	WALReplayed      int64   `json:"wal_replayed_batches,omitempty"`
+	WALDroppedBytes  int64   `json:"wal_dropped_bytes,omitempty"`
+	DegradedSessions int     `json:"degraded_sessions,omitempty"`
 	SpilledSessions  int     `json:"spilled_sessions"`
 	BytesOnDisk      int64   `json:"bytes_on_disk"`
 	Restores         int64   `json:"restores"`
@@ -200,16 +343,16 @@ type storageStats struct {
 }
 
 // stats summarizes the tier: counters, restore latency quantiles, and
-// the bytes currently on disk (walked live, so external cleanup shows
-// up immediately).
-func (st *storage) stats(spilledSessions int) storageStats {
+// the bytes currently on disk — snapshots and WALs both — walked live,
+// so external cleanup shows up immediately.
+func (st *storage) stats(spilledSessions, degradedSessions int) storageStats {
 	if st == nil {
 		return storageStats{}
 	}
 	var bytes int64
 	if entries, err := os.ReadDir(st.dir); err == nil {
 		for _, e := range entries {
-			if snapshotName.MatchString(e.Name()) {
+			if snapshotName.MatchString(e.Name()) || walName.MatchString(e.Name()) {
 				if info, err := e.Info(); err == nil {
 					bytes += info.Size()
 				}
@@ -224,6 +367,10 @@ func (st *storage) stats(spilledSessions int) storageStats {
 		SnapshotsLoaded:  st.loaded,
 		Spills:           st.spills,
 		WriteErrors:      st.writeErrors,
+		WALErrors:        st.walErrors,
+		WALReplayed:      st.walReplayed,
+		WALDroppedBytes:  st.walDropped,
+		DegradedSessions: degradedSessions,
 		SpilledSessions:  spilledSessions,
 		BytesOnDisk:      bytes,
 		Restores:         st.restoreHist.count,

@@ -216,6 +216,7 @@ func TestStorageRestoreKeepsWarmIndexes(t *testing.T) {
 	warm := srv.reg.get(first)
 	checker, _ := warm.state()
 	built := checker.CachedIndexes()
+	warm.release() // drop the test's reference, or eviction skips the busy session
 	if built == 0 {
 		t.Fatalf("validate built no indexes")
 	}
@@ -225,6 +226,7 @@ func TestStorageRestoreKeepsWarmIndexes(t *testing.T) {
 	if restored == nil {
 		t.Fatalf("spilled session did not restore")
 	}
+	defer restored.release()
 	rc, _ := restored.state()
 	if got := rc.CachedIndexes(); got != built {
 		t.Errorf("restored session has %d cached indexes, want %d (rebuild-free restore)", got, built)
@@ -240,6 +242,7 @@ func TestSessionMemCountsIndexBytes(t *testing.T) {
 	c := ts.Client()
 	id := ingestCSV(t, c, ts.URL, dirtyCSV)
 	sess := srv.reg.get(id)
+	defer sess.release()
 	cold := sess.memBytes()
 	validateViolations(t, c, ts.URL, id) // builds PLIs and a plan
 	checker, _ := sess.state()

@@ -1,0 +1,206 @@
+package storefs
+
+import (
+	"fmt"
+	"io/fs"
+	"sync"
+)
+
+// FaultKind selects how an injected operation misbehaves.
+type FaultKind int
+
+const (
+	// FaultErr makes the operation return Err without performing it.
+	FaultErr FaultKind = iota
+	// FaultShortWrite applies only to Write: half the buffer lands,
+	// and the write returns Err with the short count — the classic
+	// ENOSPC-mid-write shape.
+	FaultShortWrite
+	// FaultTornWrite applies only to Write: half the buffer lands but
+	// the call reports full success. This models a power cut after the
+	// write returned — the data the caller believes is on its way to
+	// disk is torn, and only a checksum can tell.
+	FaultTornWrite
+)
+
+// Faulty wraps an FS and injects one fault at the Nth write-side
+// operation (1-based, counted across every FS and File method call).
+// It also keeps an operation log, so tests can assert ordering
+// contracts — e.g. that a directory fsync follows the rename it makes
+// durable. Safe for concurrent use.
+type Faulty struct {
+	inner FS
+
+	mu    sync.Mutex
+	ops   int64
+	log   []string
+	armAt int64 // 0: disarmed
+	kind  FaultKind
+	err   error
+}
+
+// NewFaulty wraps inner (Std if nil) with no fault armed.
+func NewFaulty(inner FS) *Faulty {
+	if inner == nil {
+		inner = Std
+	}
+	return &Faulty{inner: inner}
+}
+
+// InjectAt arms one fault: the nth counted operation from now fails
+// with the given kind and error. A previous armed fault is replaced;
+// the fault disarms after it fires.
+func (f *Faulty) InjectAt(n int64, kind FaultKind, err error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.armAt = f.ops + n
+	f.kind = kind
+	f.err = err
+}
+
+// Ops returns the number of operations counted so far.
+func (f *Faulty) Ops() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.ops
+}
+
+// Log returns a copy of the operation log ("write <name> <n>",
+// "rename <old> <new>", "syncdir <dir>", ...), faults included.
+func (f *Faulty) Log() []string {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]string, len(f.log))
+	copy(out, f.log)
+	return out
+}
+
+// step counts one operation and reports whether the armed fault fires
+// on it (disarming it), returning the fault's kind and error.
+func (f *Faulty) step(entry string) (bool, FaultKind, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.ops++
+	f.log = append(f.log, entry)
+	if f.armAt != 0 && f.ops == f.armAt {
+		f.armAt = 0
+		return true, f.kind, f.err
+	}
+	return false, 0, nil
+}
+
+func (f *Faulty) OpenFile(name string, flag int, perm fs.FileMode) (File, error) {
+	if hit, _, err := f.step(fmt.Sprintf("openfile %s", name)); hit {
+		return nil, err
+	}
+	file, err := f.inner.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &faultyFile{f: f, inner: file}, nil
+}
+
+func (f *Faulty) CreateTemp(dir, pattern string) (File, error) {
+	if hit, _, err := f.step(fmt.Sprintf("createtemp %s", dir)); hit {
+		return nil, err
+	}
+	file, err := f.inner.CreateTemp(dir, pattern)
+	if err != nil {
+		return nil, err
+	}
+	return &faultyFile{f: f, inner: file}, nil
+}
+
+func (f *Faulty) Rename(oldpath, newpath string) error {
+	if hit, _, err := f.step(fmt.Sprintf("rename %s %s", oldpath, newpath)); hit {
+		return err
+	}
+	return f.inner.Rename(oldpath, newpath)
+}
+
+func (f *Faulty) Remove(name string) error {
+	if hit, _, err := f.step(fmt.Sprintf("remove %s", name)); hit {
+		return err
+	}
+	return f.inner.Remove(name)
+}
+
+func (f *Faulty) MkdirAll(dir string, perm fs.FileMode) error {
+	if hit, _, err := f.step(fmt.Sprintf("mkdirall %s", dir)); hit {
+		return err
+	}
+	return f.inner.MkdirAll(dir, perm)
+}
+
+func (f *Faulty) Chmod(name string, mode fs.FileMode) error {
+	if hit, _, err := f.step(fmt.Sprintf("chmod %s", name)); hit {
+		return err
+	}
+	return f.inner.Chmod(name, mode)
+}
+
+func (f *Faulty) Truncate(name string, size int64) error {
+	if hit, _, err := f.step(fmt.Sprintf("truncate %s %d", name, size)); hit {
+		return err
+	}
+	return f.inner.Truncate(name, size)
+}
+
+func (f *Faulty) ReadFile(name string) ([]byte, error) {
+	if hit, _, err := f.step(fmt.Sprintf("readfile %s", name)); hit {
+		return nil, err
+	}
+	return f.inner.ReadFile(name)
+}
+
+func (f *Faulty) SyncDir(dir string) error {
+	if hit, _, err := f.step(fmt.Sprintf("syncdir %s", dir)); hit {
+		return err
+	}
+	return f.inner.SyncDir(dir)
+}
+
+// faultyFile counts and faults the per-file operations.
+type faultyFile struct {
+	f     *Faulty
+	inner File
+}
+
+func (ff *faultyFile) Write(p []byte) (int, error) {
+	hit, kind, err := ff.f.step(fmt.Sprintf("write %s %d", ff.inner.Name(), len(p)))
+	if hit {
+		switch kind {
+		case FaultShortWrite:
+			n, _ := ff.inner.Write(p[:len(p)/2])
+			return n, err
+		case FaultTornWrite:
+			// Half the bytes persist; the caller sees full success.
+			// The lie is the point: this is what the file holds after a
+			// power cut that the application never observed.
+			if _, werr := ff.inner.Write(p[:len(p)/2]); werr != nil {
+				return 0, werr
+			}
+			return len(p), nil
+		default:
+			return 0, err
+		}
+	}
+	return ff.inner.Write(p)
+}
+
+func (ff *faultyFile) Sync() error {
+	if hit, _, err := ff.f.step(fmt.Sprintf("sync %s", ff.inner.Name())); hit {
+		return err
+	}
+	return ff.inner.Sync()
+}
+
+func (ff *faultyFile) Close() error {
+	if hit, _, err := ff.f.step(fmt.Sprintf("close %s", ff.inner.Name())); hit {
+		ff.inner.Close() //nolint:errcheck // the injected error wins
+		return err
+	}
+	return ff.inner.Close()
+}
+
+func (ff *faultyFile) Name() string { return ff.inner.Name() }

@@ -1,0 +1,83 @@
+// Package storefs is the filesystem seam under the persistent tier:
+// a small interface over exactly the operations colstore snapshots and
+// the append WAL perform (open, write, sync, rename, truncate, dir
+// fsync), with two implementations — Std, which passes through to the
+// os package, and Faulty, which injects errors, short writes, and torn
+// writes at the Nth operation so every durability error path has a
+// unit test instead of a theory.
+//
+// The seam deliberately covers only the write-side calls: read paths
+// (mmap attach, meta scans) go straight to the OS, since a read error
+// already surfaces as a corrupt-snapshot error with its own tests.
+package storefs
+
+import (
+	"io"
+	"io/fs"
+	"os"
+)
+
+// File is the writable-file surface the storage layer uses: streamed
+// writes, a durability point, and a name for the rename that follows.
+type File interface {
+	io.Writer
+	// Sync flushes the file's data to stable storage (fsync).
+	Sync() error
+	Close() error
+	// Name returns the path the file was opened under.
+	Name() string
+}
+
+// FS is the write-side filesystem interface shared by colstore and the
+// WAL. Implementations must behave like the os package for every
+// method.
+type FS interface {
+	// OpenFile opens name with the given flag and permissions.
+	OpenFile(name string, flag int, perm fs.FileMode) (File, error)
+	// CreateTemp creates a new temporary file in dir (see os.CreateTemp).
+	CreateTemp(dir, pattern string) (File, error)
+	Rename(oldpath, newpath string) error
+	Remove(name string) error
+	MkdirAll(dir string, perm fs.FileMode) error
+	Chmod(name string, mode fs.FileMode) error
+	// Truncate cuts the file at name to size bytes.
+	Truncate(name string, size int64) error
+	ReadFile(name string) ([]byte, error)
+	// SyncDir fsyncs the directory itself, making a preceding rename
+	// crash-durable: until the directory entry is flushed, a rename
+	// that "succeeded" can still vanish on power loss.
+	SyncDir(dir string) error
+}
+
+// Std is the passthrough implementation over the os package.
+var Std FS = stdFS{}
+
+type stdFS struct{}
+
+func (stdFS) OpenFile(name string, flag int, perm fs.FileMode) (File, error) {
+	return os.OpenFile(name, flag, perm)
+}
+
+func (stdFS) CreateTemp(dir, pattern string) (File, error) {
+	return os.CreateTemp(dir, pattern)
+}
+
+func (stdFS) Rename(oldpath, newpath string) error      { return os.Rename(oldpath, newpath) }
+func (stdFS) Remove(name string) error                  { return os.Remove(name) }
+func (stdFS) MkdirAll(dir string, p fs.FileMode) error  { return os.MkdirAll(dir, p) }
+func (stdFS) Chmod(name string, mode fs.FileMode) error { return os.Chmod(name, mode) }
+func (stdFS) Truncate(name string, size int64) error    { return os.Truncate(name, size) }
+func (stdFS) ReadFile(name string) ([]byte, error)      { return os.ReadFile(name) }
+
+func (stdFS) SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	syncErr := d.Sync()
+	closeErr := d.Close()
+	if syncErr != nil {
+		return syncErr
+	}
+	return closeErr
+}

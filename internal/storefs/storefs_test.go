@@ -1,0 +1,218 @@
+package storefs
+
+import (
+	"errors"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestStdRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	sub := filepath.Join(dir, "a", "b")
+	if err := Std.MkdirAll(sub, 0o755); err != nil {
+		t.Fatalf("MkdirAll: %v", err)
+	}
+	f, err := Std.CreateTemp(sub, ".tmp-*")
+	if err != nil {
+		t.Fatalf("CreateTemp: %v", err)
+	}
+	if _, err := f.Write([]byte("hello world")); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatalf("Sync: %v", err)
+	}
+	tmp := f.Name()
+	if err := f.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	final := filepath.Join(sub, "data.bin")
+	if err := Std.Chmod(tmp, 0o644); err != nil {
+		t.Fatalf("Chmod: %v", err)
+	}
+	if err := Std.Rename(tmp, final); err != nil {
+		t.Fatalf("Rename: %v", err)
+	}
+	if err := Std.SyncDir(sub); err != nil {
+		t.Fatalf("SyncDir: %v", err)
+	}
+	got, err := Std.ReadFile(final)
+	if err != nil || string(got) != "hello world" {
+		t.Fatalf("ReadFile = %q, %v", got, err)
+	}
+	if err := Std.Truncate(final, 5); err != nil {
+		t.Fatalf("Truncate: %v", err)
+	}
+	got, _ = Std.ReadFile(final)
+	if string(got) != "hello" {
+		t.Fatalf("after Truncate = %q, want %q", got, "hello")
+	}
+	if err := Std.Remove(final); err != nil {
+		t.Fatalf("Remove: %v", err)
+	}
+	if _, err := Std.ReadFile(final); !errors.Is(err, fs.ErrNotExist) {
+		t.Fatalf("ReadFile after Remove: err = %v, want not-exist", err)
+	}
+}
+
+func TestStdOpenFileAppend(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "log")
+	for _, chunk := range []string{"one", "two"} {
+		f, err := Std.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
+		if err != nil {
+			t.Fatalf("OpenFile: %v", err)
+		}
+		if _, err := f.Write([]byte(chunk)); err != nil {
+			t.Fatalf("Write: %v", err)
+		}
+		if err := f.Close(); err != nil {
+			t.Fatalf("Close: %v", err)
+		}
+	}
+	got, err := Std.ReadFile(path)
+	if err != nil || string(got) != "onetwo" {
+		t.Fatalf("ReadFile = %q, %v; want %q", got, err, "onetwo")
+	}
+}
+
+func TestFaultyErrAtNthOp(t *testing.T) {
+	dir := t.TempDir()
+	ff := NewFaulty(nil)
+	boom := errors.New("boom")
+	// Op 1 = openfile, op 2 = write: fail the write.
+	ff.InjectAt(2, FaultErr, boom)
+	f, err := ff.OpenFile(filepath.Join(dir, "x"), os.O_WRONLY|os.O_CREATE, 0o644)
+	if err != nil {
+		t.Fatalf("OpenFile: %v", err)
+	}
+	if _, err := f.Write([]byte("data")); !errors.Is(err, boom) {
+		t.Fatalf("Write err = %v, want boom", err)
+	}
+	// Fault is one-shot: the next write succeeds.
+	if _, err := f.Write([]byte("data")); err != nil {
+		t.Fatalf("second Write after fault fired: %v", err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+}
+
+func TestFaultyShortWrite(t *testing.T) {
+	dir := t.TempDir()
+	ff := NewFaulty(nil)
+	noSpace := errors.New("no space left on device")
+	path := filepath.Join(dir, "x")
+	f, err := ff.OpenFile(path, os.O_WRONLY|os.O_CREATE, 0o644)
+	if err != nil {
+		t.Fatalf("OpenFile: %v", err)
+	}
+	ff.InjectAt(1, FaultShortWrite, noSpace)
+	n, err := f.Write([]byte("abcdefgh"))
+	if !errors.Is(err, noSpace) {
+		t.Fatalf("Write err = %v, want noSpace", err)
+	}
+	if n != 4 {
+		t.Fatalf("Write n = %d, want 4 (half)", n)
+	}
+	f.Close() //nolint:errcheck // test cleanup
+	got, _ := os.ReadFile(path)
+	if string(got) != "abcd" {
+		t.Fatalf("on disk = %q, want %q", got, "abcd")
+	}
+}
+
+func TestFaultyTornWriteReportsSuccess(t *testing.T) {
+	dir := t.TempDir()
+	ff := NewFaulty(nil)
+	path := filepath.Join(dir, "x")
+	f, err := ff.OpenFile(path, os.O_WRONLY|os.O_CREATE, 0o644)
+	if err != nil {
+		t.Fatalf("OpenFile: %v", err)
+	}
+	ff.InjectAt(1, FaultTornWrite, nil)
+	n, err := f.Write([]byte("abcdefgh"))
+	if err != nil || n != 8 {
+		t.Fatalf("torn Write = %d, %v; want full success (8, nil)", n, err)
+	}
+	f.Close() //nolint:errcheck // test cleanup
+	got, _ := os.ReadFile(path)
+	if string(got) != "abcd" {
+		t.Fatalf("on disk = %q, want torn half %q", got, "abcd")
+	}
+}
+
+func TestFaultyOpsAndLogOrdering(t *testing.T) {
+	dir := t.TempDir()
+	ff := NewFaulty(Std)
+	f, err := ff.CreateTemp(dir, ".t-*")
+	if err != nil {
+		t.Fatalf("CreateTemp: %v", err)
+	}
+	if _, err := f.Write([]byte("x")); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatalf("Sync: %v", err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	final := filepath.Join(dir, "final")
+	if err := ff.Rename(f.Name(), final); err != nil {
+		t.Fatalf("Rename: %v", err)
+	}
+	if err := ff.SyncDir(dir); err != nil {
+		t.Fatalf("SyncDir: %v", err)
+	}
+	log := ff.Log()
+	if got, want := ff.Ops(), int64(len(log)); got != want {
+		t.Fatalf("Ops = %d, log length = %d", got, want)
+	}
+	wantPrefixes := []string{"createtemp", "write", "sync", "close", "rename", "syncdir"}
+	if len(log) != len(wantPrefixes) {
+		t.Fatalf("log = %q, want %d entries", log, len(wantPrefixes))
+	}
+	for i, p := range wantPrefixes {
+		if !strings.HasPrefix(log[i], p) {
+			t.Fatalf("log[%d] = %q, want prefix %q (full log %q)", i, log[i], p, log)
+		}
+	}
+}
+
+func TestFaultyFaultsEveryFSMethod(t *testing.T) {
+	dir := t.TempDir()
+	boom := errors.New("boom")
+	steps := []struct {
+		name string
+		call func(ff *Faulty) error
+	}{
+		{"openfile", func(ff *Faulty) error {
+			_, err := ff.OpenFile(filepath.Join(dir, "a"), os.O_WRONLY|os.O_CREATE, 0o644)
+			return err
+		}},
+		{"createtemp", func(ff *Faulty) error {
+			_, err := ff.CreateTemp(dir, ".t-*")
+			return err
+		}},
+		{"rename", func(ff *Faulty) error { return ff.Rename(filepath.Join(dir, "a"), filepath.Join(dir, "b")) }},
+		{"remove", func(ff *Faulty) error { return ff.Remove(filepath.Join(dir, "a")) }},
+		{"mkdirall", func(ff *Faulty) error { return ff.MkdirAll(filepath.Join(dir, "c"), 0o755) }},
+		{"chmod", func(ff *Faulty) error { return ff.Chmod(filepath.Join(dir, "a"), 0o644) }},
+		{"truncate", func(ff *Faulty) error { return ff.Truncate(filepath.Join(dir, "a"), 0) }},
+		{"readfile", func(ff *Faulty) error {
+			_, err := ff.ReadFile(filepath.Join(dir, "a"))
+			return err
+		}},
+		{"syncdir", func(ff *Faulty) error { return ff.SyncDir(dir) }},
+	}
+	for _, s := range steps {
+		ff := NewFaulty(nil)
+		ff.InjectAt(1, FaultErr, boom)
+		if err := s.call(ff); !errors.Is(err, boom) {
+			t.Errorf("%s: err = %v, want boom", s.name, err)
+		}
+	}
+}

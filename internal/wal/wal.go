@@ -1,0 +1,386 @@
+// Package wal is the per-session append write-ahead log behind
+// dcserved's persistent tier. Snapshots (internal/colstore) capture a
+// session wholesale but are far too heavy to rewrite on every append;
+// the WAL closes that durability gap: each acked append batch becomes
+// one checksummed, length-prefixed record, fsynced before the server
+// acknowledges the append, and replayed on top of the last snapshot at
+// restart. A successful snapshot truncates the log (compaction).
+//
+// # File format (version 1)
+//
+// All integers are little-endian. The file opens with an 8-byte header
+// — the magic "ADCW" followed by a uint32 version — and then a
+// sequence of records, each:
+//
+//	length   uint32   payload bytes
+//	reserved uint32   must be zero
+//	checksum uint64   FNV-64a of the payload
+//	payload  [length]byte
+//
+// A record's payload is one append batch:
+//
+//	baseRows uint64   relation row count before this batch
+//	rows     uint32   batch row count
+//	cols     uint32   cells per row
+//	cells    rows*cols of: uint32 length + raw bytes
+//
+// baseRows makes replay idempotent against compaction races: a record
+// whose baseRows is below the snapshot's row count is already inside
+// the snapshot (the crash hit between the snapshot rename and the WAL
+// truncate) and is skipped, so nothing is ever applied twice.
+//
+// Torn tails are expected, not exceptional: a crash mid-write leaves a
+// final record that is short or fails its checksum. Open detects the
+// longest valid prefix, discards the tail (reporting how many bytes),
+// truncates the file to the valid prefix, and appends from there. Only
+// filesystem errors fail an Open; corrupt content never does — the
+// snapshot plus the valid prefix is exactly the durable state.
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"sync"
+
+	"adc/internal/storefs"
+)
+
+// Format constants.
+const (
+	// Magic is the 4-byte file signature.
+	Magic = "ADCW"
+	// Version is the format version this package writes and reads.
+	Version = 1
+
+	headerLen       = 8  // magic + version
+	recordHeaderLen = 16 // length + reserved + checksum
+)
+
+// ErrVersion marks a well-formed WAL written by an unsupported format
+// version. Open does not salvage such a file — a newer build's records
+// must not be silently discarded by an older one.
+var ErrVersion = errors.New("wal: unsupported version")
+
+// Batch is one replayed append: the rows of a single acked append
+// request, plus the relation row count they were appended onto.
+type Batch struct {
+	// BaseRows is the relation's row count before this batch. Replay
+	// skips batches with BaseRows below the snapshot's rows (already
+	// compacted in) and stops at a gap (BaseRows beyond the running
+	// count — impossible unless the file was tampered with).
+	BaseRows int
+	Rows     [][]string
+}
+
+// Replay is the result of reading a log's existing content.
+type Replay struct {
+	// Batches are the valid records, in append order.
+	Batches []Batch
+	// DiscardedBytes counts trailing bytes dropped as torn or corrupt.
+	DiscardedBytes int64
+}
+
+// Log is an open write-ahead log. Append and Truncate serialize
+// internally; one Log must still have a single owning session, since
+// interleaved baseRows from two writers would be meaningless.
+type Log struct {
+	fsys storefs.FS
+	path string
+
+	mu      sync.Mutex
+	f       storefs.File
+	noSync  bool
+	records int64
+	bytes   int64 // file size including header
+}
+
+// Options tunes a Log.
+type Options struct {
+	// NoSync skips the per-record fsync. Appends then survive a process
+	// crash (the OS holds the writes) but not a power cut — the
+	// fsync-off half of the durability benchmark, not a serving mode.
+	NoSync bool
+}
+
+// Open opens (creating if needed) the log at path, salvages the valid
+// record prefix, truncates any torn tail, and returns the log
+// positioned for appending plus the replayed batches. fsys nil means
+// the real filesystem.
+func Open(fsys storefs.FS, path string, opts Options) (*Log, *Replay, error) {
+	if fsys == nil {
+		fsys = storefs.Std
+	}
+	data, err := fsys.ReadFile(path)
+	if err != nil && !errors.Is(err, os.ErrNotExist) {
+		return nil, nil, err
+	}
+	rep, valid, perr := parse(data)
+	if perr != nil {
+		return nil, nil, perr
+	}
+	if valid < int64(len(data)) {
+		if err := fsys.Truncate(path, valid); err != nil {
+			return nil, nil, err
+		}
+	}
+	l := &Log{fsys: fsys, path: path, noSync: opts.NoSync, records: int64(len(rep.Batches)), bytes: valid}
+	if valid == 0 {
+		if err := l.writeHeader(); err != nil {
+			return nil, nil, err
+		}
+	} else {
+		f, err := fsys.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return nil, nil, err
+		}
+		l.f = f
+	}
+	return l, rep, nil
+}
+
+// Scan reads the valid batches of the log at path without opening it
+// for append and without repairing torn tails. A missing file is an
+// empty replay. It is the startup-listing primitive: cheap, read-only,
+// no side effects.
+func Scan(fsys storefs.FS, path string) (*Replay, error) {
+	if fsys == nil {
+		fsys = storefs.Std
+	}
+	data, err := fsys.ReadFile(path)
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return &Replay{}, nil
+		}
+		return nil, err
+	}
+	rep, valid, perr := parse(data)
+	if perr != nil {
+		return nil, perr
+	}
+	rep.DiscardedBytes = int64(len(data)) - valid
+	return rep, nil
+}
+
+// writeHeader starts a fresh log file: header written, fsynced, and
+// the directory entry flushed so the file itself survives a crash.
+func (l *Log) writeHeader() error {
+	// O_APPEND, not a plain offset: Truncate moves the end of the file
+	// under this handle, and append semantics make the next record land
+	// at the new end instead of leaving a zero-filled gap.
+	f, err := l.fsys.OpenFile(l.path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	var hdr [headerLen]byte
+	copy(hdr[:4], Magic)
+	binary.LittleEndian.PutUint32(hdr[4:], Version)
+	if _, err := f.Write(hdr[:]); err != nil {
+		f.Close() //nolint:errcheck // the write error wins
+		return err
+	}
+	if !l.noSync {
+		if err := f.Sync(); err != nil {
+			f.Close() //nolint:errcheck // the sync error wins
+			return err
+		}
+	}
+	l.f = f
+	l.bytes = headerLen
+	l.records = 0
+	return nil
+}
+
+// Append writes one record for an acked append batch: baseRows is the
+// relation's row count before the batch. The record is fsynced before
+// Append returns (unless Options.NoSync), which is the durability
+// point the server's ack rests on.
+func (l *Log) Append(baseRows int, rows [][]string) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f == nil {
+		return fmt.Errorf("wal: log %s is closed", l.path)
+	}
+	payload := encodeBatch(baseRows, rows)
+	h := fnv.New64a()
+	h.Write(payload) //nolint:errcheck // hash.Hash never errors
+	rec := make([]byte, recordHeaderLen, recordHeaderLen+len(payload))
+	binary.LittleEndian.PutUint32(rec[0:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(rec[4:], 0)
+	binary.LittleEndian.PutUint64(rec[8:], h.Sum64())
+	rec = append(rec, payload...)
+	if _, err := l.f.Write(rec); err != nil {
+		return err
+	}
+	if !l.noSync {
+		if err := l.f.Sync(); err != nil {
+			return err
+		}
+	}
+	l.records++
+	l.bytes += int64(len(rec))
+	return nil
+}
+
+// Truncate drops every record, leaving only the header — the
+// compaction step after a successful snapshot, whose caller must
+// guarantee the snapshot covers every record (quiesce appends first).
+func (l *Log) Truncate() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f == nil {
+		return fmt.Errorf("wal: log %s is closed", l.path)
+	}
+	if err := l.fsys.Truncate(l.path, headerLen); err != nil {
+		return err
+	}
+	l.records = 0
+	l.bytes = headerLen
+	return nil
+}
+
+// Records returns the record count since the last truncation (or the
+// replayed count right after Open).
+func (l *Log) Records() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.records
+}
+
+// Bytes returns the log's current file size in bytes.
+func (l *Log) Bytes() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.bytes
+}
+
+// Path returns the log's file path.
+func (l *Log) Path() string { return l.path }
+
+// Close closes the file handle. Append and Truncate error afterwards.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f == nil {
+		return nil
+	}
+	err := l.f.Close()
+	l.f = nil
+	return err
+}
+
+// encodeBatch lays out one record payload.
+func encodeBatch(baseRows int, rows [][]string) []byte {
+	n := 16
+	for _, row := range rows {
+		for _, cell := range row {
+			n += 4 + len(cell)
+		}
+	}
+	b := make([]byte, 0, n)
+	b = binary.LittleEndian.AppendUint64(b, uint64(baseRows))
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(rows)))
+	cols := 0
+	if len(rows) > 0 {
+		cols = len(rows[0])
+	}
+	b = binary.LittleEndian.AppendUint32(b, uint32(cols))
+	for _, row := range rows {
+		for _, cell := range row {
+			b = binary.LittleEndian.AppendUint32(b, uint32(len(cell)))
+			b = append(b, cell...)
+		}
+	}
+	return b
+}
+
+// decodeBatch parses one record payload; every length is validated
+// against the remaining bytes before any allocation.
+func decodeBatch(b []byte) (Batch, bool) {
+	if len(b) < 16 {
+		return Batch{}, false
+	}
+	base := binary.LittleEndian.Uint64(b)
+	nrows := binary.LittleEndian.Uint32(b[8:])
+	ncols := binary.LittleEndian.Uint32(b[12:])
+	b = b[16:]
+	// Each cell costs at least its 4-byte length prefix; reject counts
+	// the payload cannot possibly hold before allocating for them.
+	if nrows > 0 && uint64(ncols) > uint64(len(b))/4/uint64(nrows) {
+		return Batch{}, false
+	}
+	rows := make([][]string, nrows)
+	for r := range rows {
+		row := make([]string, ncols)
+		for c := range row {
+			if len(b) < 4 {
+				return Batch{}, false
+			}
+			cl := binary.LittleEndian.Uint32(b)
+			b = b[4:]
+			if uint64(cl) > uint64(len(b)) {
+				return Batch{}, false
+			}
+			row[c] = string(b[:cl])
+			b = b[cl:]
+		}
+		rows[r] = row
+	}
+	if len(b) != 0 {
+		return Batch{}, false
+	}
+	return Batch{BaseRows: int(base), Rows: rows}, true
+}
+
+// parse walks the file content, returning the valid batches, the byte
+// length of the valid prefix, and an error only for an unsupported
+// version. Everything after the first invalid record is untrusted and
+// ignored; an empty or missing header is an empty log.
+func parse(data []byte) (*Replay, int64, error) {
+	rep := &Replay{}
+	if len(data) < headerLen {
+		// Nothing valid, including a torn header write.
+		rep.DiscardedBytes = int64(len(data))
+		return rep, 0, nil
+	}
+	if string(data[:4]) != Magic {
+		// Not a WAL at all: salvage nothing.
+		rep.DiscardedBytes = int64(len(data))
+		return rep, 0, nil
+	}
+	if v := binary.LittleEndian.Uint32(data[4:8]); v != Version {
+		return nil, 0, fmt.Errorf("%w: file version %d, this build reads %d", ErrVersion, v, Version)
+	}
+	off := int64(headerLen)
+	for {
+		rest := data[off:]
+		if len(rest) == 0 {
+			break
+		}
+		if len(rest) < recordHeaderLen {
+			break // torn record header
+		}
+		plen := binary.LittleEndian.Uint32(rest)
+		reserved := binary.LittleEndian.Uint32(rest[4:])
+		sum := binary.LittleEndian.Uint64(rest[8:])
+		if reserved != 0 || uint64(plen) > uint64(len(rest)-recordHeaderLen) {
+			break // torn or corrupt length
+		}
+		payload := rest[recordHeaderLen : recordHeaderLen+int(plen)]
+		h := fnv.New64a()
+		h.Write(payload) //nolint:errcheck // hash.Hash never errors
+		if h.Sum64() != sum {
+			break // torn payload
+		}
+		batch, ok := decodeBatch(payload)
+		if !ok {
+			break // checksum ok but structure is not: do not trust beyond
+		}
+		rep.Batches = append(rep.Batches, batch)
+		off += recordHeaderLen + int64(plen)
+	}
+	rep.DiscardedBytes = int64(len(data)) - off
+	return rep, off, nil
+}

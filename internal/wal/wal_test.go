@@ -1,0 +1,350 @@
+package wal
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"adc/internal/storefs"
+)
+
+func testBatches() []Batch {
+	return []Batch{
+		{BaseRows: 5, Rows: [][]string{{"10001", "NY", "50"}, {"10001", "NY", "60"}}},
+		{BaseRows: 7, Rows: [][]string{{"90210", "CA", "80"}}},
+		{BaseRows: 8, Rows: [][]string{{"", "NY", "short"}}}, // empty cell round-trips
+	}
+}
+
+func writeBatches(t *testing.T, path string, batches []Batch) {
+	t.Helper()
+	l, rep, err := Open(nil, path, Options{})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if len(rep.Batches) != 0 || rep.DiscardedBytes != 0 {
+		t.Fatalf("fresh Open replay = %+v, want empty", rep)
+	}
+	for _, b := range batches {
+		if err := l.Append(b.BaseRows, b.Rows); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "s.adcw")
+	want := testBatches()
+	writeBatches(t, path, want)
+
+	l, rep, err := Open(nil, path, Options{})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer l.Close() //nolint:errcheck // test cleanup
+	if !reflect.DeepEqual(rep.Batches, want) {
+		t.Fatalf("replayed %+v, want %+v", rep.Batches, want)
+	}
+	if rep.DiscardedBytes != 0 {
+		t.Fatalf("DiscardedBytes = %d, want 0", rep.DiscardedBytes)
+	}
+	if l.Records() != int64(len(want)) {
+		t.Fatalf("Records = %d, want %d", l.Records(), len(want))
+	}
+
+	// Appending after reopen extends, not clobbers.
+	extra := Batch{BaseRows: 9, Rows: [][]string{{"z", "z", "z"}}}
+	if err := l.Append(extra.BaseRows, extra.Rows); err != nil {
+		t.Fatalf("Append after reopen: %v", err)
+	}
+	rep2, err := Scan(nil, path)
+	if err != nil {
+		t.Fatalf("Scan: %v", err)
+	}
+	if got := len(rep2.Batches); got != len(want)+1 {
+		t.Fatalf("after reopen-append: %d batches, want %d", got, len(want)+1)
+	}
+	if !reflect.DeepEqual(rep2.Batches[len(want)], extra) {
+		t.Fatalf("appended batch = %+v, want %+v", rep2.Batches[len(want)], extra)
+	}
+}
+
+func TestEmptyAndMissing(t *testing.T) {
+	dir := t.TempDir()
+
+	// Missing file: Scan returns empty, Open creates the header.
+	path := filepath.Join(dir, "missing.adcw")
+	rep, err := Scan(nil, path)
+	if err != nil || len(rep.Batches) != 0 {
+		t.Fatalf("Scan missing = %+v, %v", rep, err)
+	}
+	l, rep, err := Open(nil, path, Options{})
+	if err != nil || len(rep.Batches) != 0 {
+		t.Fatalf("Open missing = %+v, %v", rep, err)
+	}
+	if l.Bytes() != headerLen {
+		t.Fatalf("fresh log Bytes = %d, want %d", l.Bytes(), headerLen)
+	}
+	l.Close() //nolint:errcheck // test cleanup
+
+	// Zero-byte file (crash before the header landed): treated as empty.
+	empty := filepath.Join(dir, "empty.adcw")
+	if err := os.WriteFile(empty, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	l2, rep, err := Open(nil, empty, Options{})
+	if err != nil || len(rep.Batches) != 0 {
+		t.Fatalf("Open zero-byte = %+v, %v", rep, err)
+	}
+	if err := l2.Append(0, [][]string{{"a"}}); err != nil {
+		t.Fatalf("Append to recovered-empty log: %v", err)
+	}
+	l2.Close() //nolint:errcheck // test cleanup
+
+	// Header-only file replays to zero batches.
+	rep, err = Scan(nil, path)
+	if err != nil || len(rep.Batches) != 0 || rep.DiscardedBytes != 0 {
+		t.Fatalf("Scan header-only = %+v, %v", rep, err)
+	}
+}
+
+func TestTornTrailingRecord(t *testing.T) {
+	for _, cut := range []int{1, 5, recordHeaderLen - 1, recordHeaderLen + 3} {
+		path := filepath.Join(t.TempDir(), "s.adcw")
+		want := testBatches()
+		writeBatches(t, path, want)
+		full, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Append one more record, then tear off all but `cut` bytes of it.
+		l, _, err := Open(nil, path, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := l.Append(9, [][]string{{"torn", "torn", "torn"}}); err != nil {
+			t.Fatal(err)
+		}
+		l.Close() //nolint:errcheck // test cleanup
+		if err := os.Truncate(path, int64(len(full)+cut)); err != nil {
+			t.Fatal(err)
+		}
+
+		l, rep, err := Open(nil, path, Options{})
+		if err != nil {
+			t.Fatalf("cut=%d: Open over torn tail: %v", cut, err)
+		}
+		if !reflect.DeepEqual(rep.Batches, want) {
+			t.Fatalf("cut=%d: replay lost or invented batches: %+v", cut, rep.Batches)
+		}
+		if rep.DiscardedBytes != int64(cut) {
+			t.Fatalf("cut=%d: DiscardedBytes = %d", cut, rep.DiscardedBytes)
+		}
+		// Open repaired the file: appending now yields a clean log.
+		if err := l.Append(9, [][]string{{"new", "new", "new"}}); err != nil {
+			t.Fatalf("cut=%d: Append after repair: %v", cut, err)
+		}
+		l.Close() //nolint:errcheck // test cleanup
+		rep, err = Scan(nil, path)
+		if err != nil || len(rep.Batches) != len(want)+1 || rep.DiscardedBytes != 0 {
+			t.Fatalf("cut=%d: after repair+append Scan = %+v, %v", cut, rep, err)
+		}
+	}
+}
+
+func TestCorruptPayloadChecksum(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "s.adcw")
+	want := testBatches()
+	writeBatches(t, path, want)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip one payload byte in the last record: checksum catches it and
+	// the record is discarded, the earlier records survive.
+	data[len(data)-1] ^= 0xff
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, rep, err := Open(nil, path, Options{})
+	if err != nil {
+		t.Fatalf("Open over bit-flip: %v", err)
+	}
+	if !reflect.DeepEqual(rep.Batches, want[:2]) {
+		t.Fatalf("replay = %+v, want first two batches", rep.Batches)
+	}
+	if rep.DiscardedBytes == 0 {
+		t.Fatal("DiscardedBytes = 0, want the corrupt record counted")
+	}
+}
+
+func TestGarbageFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "s.adcw")
+	if err := os.WriteFile(path, []byte("this is not a WAL at all, not even close"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	l, rep, err := Open(nil, path, Options{})
+	if err != nil {
+		t.Fatalf("Open over garbage: %v", err)
+	}
+	if len(rep.Batches) != 0 || rep.DiscardedBytes == 0 {
+		t.Fatalf("garbage replay = %+v", rep)
+	}
+	// The log is usable again from scratch.
+	if err := l.Append(0, [][]string{{"a", "b"}}); err != nil {
+		t.Fatalf("Append after garbage recovery: %v", err)
+	}
+	l.Close() //nolint:errcheck // test cleanup
+	rep, err = Scan(nil, path)
+	if err != nil || len(rep.Batches) != 1 {
+		t.Fatalf("Scan after recovery = %+v, %v", rep, err)
+	}
+}
+
+func TestVersionMismatch(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "s.adcw")
+	writeBatches(t, path, testBatches())
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[4] = 99
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Open(nil, path, Options{}); !errors.Is(err, ErrVersion) {
+		t.Fatalf("Open future-version err = %v, want ErrVersion", err)
+	}
+	if _, err := Scan(nil, path); !errors.Is(err, ErrVersion) {
+		t.Fatalf("Scan future-version err = %v, want ErrVersion", err)
+	}
+}
+
+func TestTruncateCompaction(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "s.adcw")
+	l, _, err := Open(nil, path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range testBatches() {
+		if err := l.Append(b.BaseRows, b.Rows); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Truncate(); err != nil {
+		t.Fatalf("Truncate: %v", err)
+	}
+	if l.Records() != 0 || l.Bytes() != headerLen {
+		t.Fatalf("after Truncate: Records=%d Bytes=%d", l.Records(), l.Bytes())
+	}
+	// Appends continue on the truncated log (O_APPEND writes at the new end).
+	post := Batch{BaseRows: 11, Rows: [][]string{{"p", "q"}}}
+	if err := l.Append(post.BaseRows, post.Rows); err != nil {
+		t.Fatalf("Append after Truncate: %v", err)
+	}
+	l.Close() //nolint:errcheck // test cleanup
+	rep, err := Scan(nil, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rep.Batches, []Batch{post}) {
+		t.Fatalf("after compaction replay = %+v, want just the post-truncate batch", rep.Batches)
+	}
+}
+
+func TestNoSyncSkipsFsync(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "s.adcw")
+	ff := storefs.NewFaulty(nil)
+	l, _, err := Open(ff, path, Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append(0, [][]string{{"a"}}); err != nil {
+		t.Fatal(err)
+	}
+	l.Close() //nolint:errcheck // test cleanup
+	for _, op := range ff.Log() {
+		if len(op) >= 5 && op[:5] == "sync " {
+			t.Fatalf("NoSync log still fsynced: %q", ff.Log())
+		}
+	}
+}
+
+func TestAppendFsyncErrorSurfaces(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "s.adcw")
+	ff := storefs.NewFaulty(nil)
+	l, _, err := Open(ff, path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close() //nolint:errcheck // test cleanup
+	eio := errors.New("input/output error")
+	// Next ops: write(record)=1, sync=2.
+	ff.InjectAt(2, storefs.FaultErr, eio)
+	if err := l.Append(0, [][]string{{"a"}}); !errors.Is(err, eio) {
+		t.Fatalf("Append with failing fsync err = %v, want EIO", err)
+	}
+}
+
+func TestTornWriteViaFaultyDiscardedOnReplay(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "s.adcw")
+	want := testBatches()
+	writeBatches(t, path, want)
+
+	ff := storefs.NewFaulty(nil)
+	l, _, err := Open(ff, path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tear the next record write: half its bytes persist, the writer
+	// believes it succeeded — the power-cut lie.
+	ff.InjectAt(1, storefs.FaultTornWrite, nil)
+	if err := l.Append(9, [][]string{{"doomed", "doomed", "doomed"}}); err != nil {
+		t.Fatalf("torn Append reported: %v", err)
+	}
+	l.Close() //nolint:errcheck // test cleanup
+
+	_, rep, err := Open(nil, path, Options{})
+	if err != nil {
+		t.Fatalf("recovery Open: %v", err)
+	}
+	if !reflect.DeepEqual(rep.Batches, want) {
+		t.Fatalf("replay after torn write = %+v, want the pre-torn batches", rep.Batches)
+	}
+	if rep.DiscardedBytes == 0 {
+		t.Fatal("DiscardedBytes = 0, want the torn record counted")
+	}
+}
+
+func TestZeroRowAndZeroColBatches(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "s.adcw")
+	batches := []Batch{
+		{BaseRows: 0, Rows: [][]string{}},
+		{BaseRows: 0, Rows: [][]string{{}, {}}},
+	}
+	l, _, err := Open(nil, path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range batches {
+		if err := l.Append(b.BaseRows, b.Rows); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l.Close() //nolint:errcheck // test cleanup
+	rep, err := Scan(nil, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Batches) != 2 {
+		t.Fatalf("replayed %d batches, want 2", len(rep.Batches))
+	}
+	if len(rep.Batches[0].Rows) != 0 || len(rep.Batches[1].Rows) != 2 {
+		t.Fatalf("degenerate batches mangled: %+v", rep.Batches)
+	}
+}

@@ -1,0 +1,122 @@
+#!/usr/bin/env bash
+# crashloop.sh — the kill -9 recovery gate behind the crash-recovery CI
+# job: run real append-and-mine traffic against a persistent dcserved,
+# SIGKILL the server mid-stream several times, restart it on the same
+# data directory each time, and let dcload's client-side consistency
+# verifier decide the verdict — every append the server acked with a
+# 200 before any kill must be present in the final row counts, because
+# each ack means the batch was fsynced to the session's WAL first.
+#
+# Usage:
+#   scripts/crashloop.sh [out.json]
+#
+# Environment knobs (defaults match the CI gate):
+#   KILLS=3        SIGKILL/restart cycles
+#   DURATION=30s   dcload run length
+#   KILL_GAP=4     seconds of traffic between kills
+#   DOWN=1         seconds the server stays dead per cycle
+#   ADDR=127.0.0.1:8351
+#
+# Exit status: 0 when dcload exits clean AND the published report shows
+# zero lost appends and zero consistency violations; non-zero otherwise.
+# Transport errors are expected (clients hammer a dead server during
+# each down window) and are NOT a failure — lost acked data is.
+set -euo pipefail
+
+out=${1:-BENCH_crash.json}
+KILLS=${KILLS:-3}
+DURATION=${DURATION:-30s}
+KILL_GAP=${KILL_GAP:-4}
+DOWN=${DOWN:-1}
+ADDR=${ADDR:-127.0.0.1:8351}
+
+workdir=$(mktemp -d)
+datadir="$workdir/data"
+log="$workdir/dcserved.log"
+server_pid=""
+load_pid=""
+
+cleanup() {
+    [ -n "$load_pid" ] && kill "$load_pid" 2>/dev/null || true
+    [ -n "$server_pid" ] && kill -9 "$server_pid" 2>/dev/null || true
+    wait 2>/dev/null || true
+}
+trap cleanup EXIT
+
+echo "crashloop: building dcserved and dcload"
+go build -o "$workdir/dcserved" ./cmd/dcserved
+go build -o "$workdir/dcload" ./cmd/dcload
+
+start_server() {
+    "$workdir/dcserved" -addr "$ADDR" -data-dir "$datadir" \
+        -max-datasets 4096 -max-mem-mb 2048 >>"$log" 2>&1 &
+    server_pid=$!
+    for _ in $(seq 1 100); do
+        if curl -fsS "http://$ADDR/healthz" >/dev/null 2>&1; then
+            return 0
+        fi
+        sleep 0.1
+    done
+    echo "crashloop: dcserved did not come up" >&2
+    tail -20 "$log" >&2
+    return 1
+}
+
+start_server
+echo "crashloop: dcserved up (pid $server_pid, data dir $datadir)"
+
+# Append-heavy mixed traffic with the appendmine op in the mix, so the
+# WAL path and the warm re-mine path both run while the server dies.
+# No -fail-on-errors: the kill windows make transport errors a given;
+# the gate is acked-append durability, checked by the final verifier
+# leg against the last restarted server.
+"$workdir/dcload" -addr "http://$ADDR" \
+    -concurrency 8 -duration "$DURATION" -mix 30/40/10/5/15 \
+    -dataset adult -rows 100 -datasets 6 -seed 11 -max-predicates 2 \
+    -json "$out" >"$workdir/load.txt" 2>"$workdir/load.log" &
+load_pid=$!
+
+for i in $(seq 1 "$KILLS"); do
+    sleep "$KILL_GAP"
+    if ! kill -0 "$load_pid" 2>/dev/null; then
+        echo "crashloop: dcload ended before kill cycle $i" >&2
+        break
+    fi
+    echo "crashloop: cycle $i/$KILLS: SIGKILL dcserved (pid $server_pid)"
+    kill -9 "$server_pid"
+    wait "$server_pid" 2>/dev/null || true
+    sleep "$DOWN"
+    start_server
+    echo "crashloop: cycle $i/$KILLS: dcserved restarted (pid $server_pid)"
+done
+
+load_status=0
+wait "$load_pid" || load_status=$?
+load_pid=""
+cat "$workdir/load.txt"
+
+if [ "$load_status" -ne 0 ]; then
+    echo "crashloop: FAIL: dcload exited $load_status (2 = verifier found lost acked appends)" >&2
+    tail -20 "$workdir/load.log" >&2
+    exit 1
+fi
+if [ ! -s "$out" ]; then
+    echo "crashloop: FAIL: no report at $out" >&2
+    exit 1
+fi
+
+lost=$(jq -r '.lost_appends' "$out")
+viol=$(jq -r '.consistency_violations' "$out")
+acked=$(jq -r '(.ops.append.count - .ops.append.errors) + (.ops.appendmine.count - .ops.appendmine.errors)' "$out")
+transport=$(jq -r '.transport_errors' "$out")
+echo "crashloop: acked_append_ops=$acked lost_appends=$lost consistency_violations=$viol transport_errors=$transport (transport errors expected)"
+
+if [ "$lost" != 0 ] || [ "$viol" != 0 ]; then
+    echo "crashloop: FAIL: acked appends lost across kill -9 restarts" >&2
+    exit 1
+fi
+if [ "$acked" = 0 ] || [ "$acked" = null ]; then
+    echo "crashloop: FAIL: the run acked no appends — the gate tested nothing" >&2
+    exit 1
+fi
+echo "crashloop: PASS: $KILLS kill -9 cycles, zero acked appends lost"
